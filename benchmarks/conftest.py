@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Each bench reproduces one figure/table of the paper on a stratified workload
+sample.  ``REPRO_BENCH_SCALE`` (env var, float) scales the sample size up or
+down, e.g. ``REPRO_BENCH_SCALE=2 pytest benchmarks/`` doubles the sample.
+"""
+
+import os
+
+from repro.experiments import Scale
+
+_FACTOR = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_scale(n_workloads: int = 10, warmup: int = 12_000, sim: int = 36_000, seed: int = 1) -> Scale:
+    return Scale(
+        n_workloads=max(4, int(n_workloads * _FACTOR)),
+        warmup_instructions=warmup,
+        sim_instructions=sim,
+        seed=seed,
+    )

@@ -1,0 +1,66 @@
+"""Ablation: Berti timeliness models (count lookback vs measured latency).
+
+The repo's default Berti approximates timeliness with an access-count
+lookback; `berti-timely` follows the original's measured-latency rule.
+Shape check: both respond to DRIPPER the same way (the page-cross question
+is orthogonal to the timeliness model), and the measured-latency variant is
+more conservative (fewer fills, equal-or-higher accuracy).
+"""
+
+from dataclasses import replace
+
+from conftest import bench_scale
+
+from repro.experiments import (
+    average,
+    format_table,
+    geomean_speedup,
+    run_many,
+    speedup_percent,
+)
+from repro.experiments.runner import RunSpec
+from repro.workloads import seen_workloads, stratified_sample
+
+
+def run_variants(scale):
+    workloads = stratified_sample(seen_workloads(), scale.n_workloads, scale.seed)
+    out = {}
+    for prefetcher in ("berti", "berti-timely"):
+        spec = RunSpec(
+            prefetcher=prefetcher,
+            warmup_instructions=scale.warmup_instructions,
+            sim_instructions=scale.sim_instructions,
+        )
+        base = run_many(workloads, replace(spec, policy="discard"))
+        permit = run_many(workloads, replace(spec, policy="permit"))
+        dripper = run_many(workloads, replace(spec, policy="dripper"))
+        out[prefetcher] = {
+            "permit_pct": speedup_percent(geomean_speedup(permit, base)),
+            "dripper_pct": speedup_percent(geomean_speedup(dripper, base)),
+            "avg_fills": average(r.prefetch_fills for r in permit),
+            "avg_accuracy": average(r.prefetch_accuracy for r in permit),
+        }
+    return out
+
+
+def test_ablation_berti_variants(benchmark):
+    scale = bench_scale(n_workloads=8)
+    data = benchmark.pedantic(lambda: run_variants(scale), rounds=1, iterations=1)
+    rows = [
+        (name, f"{v['permit_pct']:+.2f}%", f"{v['dripper_pct']:+.2f}%",
+         f"{v['avg_fills']:.0f}", f"{v['avg_accuracy']:.2f}")
+        for name, v in data.items()
+    ]
+    print()
+    print(format_table(
+        ["variant", "permit", "dripper", "fills/run", "accuracy"],
+        rows, "Ablation — Berti timeliness models",
+    ))
+    for name, v in data.items():
+        benchmark.extra_info[name] = {k: round(val, 2) for k, val in v.items()}
+
+    # DRIPPER >= Permit holds under either timeliness model
+    for name, v in data.items():
+        assert v["dripper_pct"] >= v["permit_pct"] - 0.1, name
+    # the measured-latency variant is the more conservative issuer
+    assert data["berti-timely"]["avg_fills"] <= data["berti"]["avg_fills"]

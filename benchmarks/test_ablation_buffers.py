@@ -1,0 +1,55 @@
+"""Ablation: update-buffer sizing (vUB / pUB of Table III).
+
+Design-choice check: the 4-entry vUB is what bootstraps the filter out of
+the discard-everything state, and the 128-entry pUB provides the
+negative-feedback path.  Shrinking either should not *gain* performance;
+starving vUB should hurt page-cross-friendly workloads.
+"""
+
+from dataclasses import replace
+
+from conftest import bench_scale
+
+from repro.core.dripper import dripper_config
+from repro.core.filter import PerceptronFilter
+from repro.experiments import format_table, geomean_speedup, run_many, speedup_percent
+from repro.experiments.runner import RunSpec
+from repro.workloads import seen_workloads, stratified_sample
+
+
+def run_ablation(scale):
+    from repro.cpu.simulator import simulate
+
+    workloads = stratified_sample(seen_workloads(), scale.n_workloads, scale.seed)
+    spec = RunSpec(
+        prefetcher="berti",
+        warmup_instructions=scale.warmup_instructions,
+        sim_instructions=scale.sim_instructions,
+    )
+    base = run_many(workloads, replace(spec, policy="discard"))
+    out = {}
+    for vub, pub in ((1, 128), (4, 128), (32, 128), (4, 8), (4, 512)):
+        config = replace(dripper_config("berti"), vub_entries=vub, pub_entries=pub)
+        results = []
+        for workload in workloads:
+            cfg = replace(
+                spec.config_for(workload),
+                policy_factory=lambda: PerceptronFilter(config, name=f"v{vub}p{pub}"),
+            )
+            results.append(simulate(workload, cfg))
+        out[f"vUB={vub:<3d} pUB={pub}"] = speedup_percent(geomean_speedup(results, base))
+    return out
+
+
+def test_ablation_buffers(benchmark):
+    scale = bench_scale(n_workloads=8)
+    data = benchmark.pedantic(lambda: run_ablation(scale), rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["configuration", "geomean vs Discard"],
+        [(k, f"{v:+.2f}%") for k, v in data.items()],
+        "Ablation — update buffer sizing",
+    ))
+    benchmark.extra_info.update({k: round(v, 2) for k, v in data.items()})
+    # the paper's configuration must be a sane point: positive gain
+    assert data["vUB=4   pUB=128"] > 0

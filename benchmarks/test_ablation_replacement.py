@@ -1,0 +1,76 @@
+"""Ablation: can prefetch-aware cache insertion substitute for filtering?
+
+The related-work section (§VI, "Prefetch Management") lists policies that
+make the *cache* prefetch-aware ([43], [74], [91]) instead of filtering the
+prefetches.  This bench contrasts the two mitigations: prefetch-aware LRU
+insertion (PACMan-style) limits cache pollution from useless page-cross
+prefetches but cannot prevent the speculative page walks or the TLB
+pollution — the costs the paper's filter uniquely removes.
+
+Expected shape: Permit+pa-lru recovers part of Permit's loss; DRIPPER (with
+plain LRU) still wins.
+"""
+
+from dataclasses import replace as dc_replace
+
+from conftest import bench_scale
+
+from repro.cpu.simulator import simulate
+from repro.experiments import format_table, geomean_speedup, speedup_percent
+from repro.experiments.runner import RunSpec, policy_factory
+from repro.params import DEFAULT_PARAMS
+from repro.workloads import seen_workloads, stratified_sample
+
+
+def _params_with_replacement(name: str):
+    return dc_replace(DEFAULT_PARAMS, l1d=dc_replace(DEFAULT_PARAMS.l1d, replacement=name))
+
+
+def run_ablation(scale):
+    workloads = stratified_sample(seen_workloads(), scale.n_workloads, scale.seed)
+    spec = RunSpec(
+        prefetcher="berti",
+        warmup_instructions=scale.warmup_instructions,
+        sim_instructions=scale.sim_instructions,
+    )
+
+    def run_config(policy: str, replacement: str):
+        results = []
+        for workload in workloads:
+            config = spec.config_for(workload)
+            config = dc_replace(
+                config,
+                params=_params_with_replacement(replacement),
+                policy_factory=policy_factory(policy, "berti"),
+            )
+            results.append(simulate(workload, config))
+        return results
+
+    base = run_config("discard", "lru")
+    out = {}
+    for label, policy, replacement in (
+        ("permit + lru", "permit", "lru"),
+        ("permit + pa-lru", "permit", "pa-lru"),
+        ("dripper + lru", "dripper", "lru"),
+        ("dripper + pa-lru", "dripper", "pa-lru"),
+    ):
+        out[label] = speedup_percent(geomean_speedup(run_config(policy, replacement), base))
+    return out
+
+
+def test_ablation_replacement(benchmark):
+    scale = bench_scale(n_workloads=8)
+    data = benchmark.pedantic(lambda: run_ablation(scale), rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["configuration", "geomean vs Discard+LRU"],
+        [(k, f"{v:+.2f}%") for k, v in data.items()],
+        "Ablation — prefetch-aware insertion vs page-cross filtering",
+    ))
+    benchmark.extra_info.update({k: round(v, 2) for k, v in data.items()})
+
+    # insertion policy alone must not replace filtering
+    assert data["dripper + lru"] > data["permit + pa-lru"], (
+        "filtering removes walk/TLB costs that insertion policies cannot"
+    )
+    assert data["dripper + lru"] > data["permit + lru"]

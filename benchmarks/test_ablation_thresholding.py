@@ -1,0 +1,64 @@
+"""Ablation: MOKA's adaptive thresholding vs static thresholds.
+
+Design-choice check (Section III-C3): the epoch-based adaptive scheme should
+match or beat every static threshold across a mixed sample, because
+different workloads/phases have different optimal T_a values.
+"""
+
+from conftest import bench_scale
+
+from repro.core.dripper import dripper_config
+from repro.core.filter import FilterConfig, PerceptronFilter
+from repro.experiments import format_table, geomean_speedup, run_many, speedup_percent
+from repro.experiments.runner import RunSpec
+from repro.workloads import seen_workloads, stratified_sample
+
+from dataclasses import replace
+
+
+def run_ablation(scale):
+    workloads = stratified_sample(seen_workloads(), scale.n_workloads, scale.seed)
+    spec = RunSpec(
+        prefetcher="berti",
+        warmup_instructions=scale.warmup_instructions,
+        sim_instructions=scale.sim_instructions,
+    )
+    base = run_many(workloads, replace(spec, policy="discard"))
+    out = {}
+
+    def run_filter(name, config):
+        from repro.cpu.simulator import simulate
+
+        results = []
+        for workload in workloads:
+            cfg = replace(spec.config_for(workload), policy_factory=lambda: PerceptronFilter(config, name=name))
+            results.append(simulate(workload, cfg))
+        out[name] = speedup_percent(geomean_speedup(results, base))
+
+    adaptive = dripper_config("berti")
+    run_filter("adaptive", adaptive)
+    for threshold in (-4, 0, 4, 8):
+        static = FilterConfig(
+            program_features=adaptive.program_features,
+            system_features=adaptive.system_features,
+            adaptive=False,
+            static_threshold=threshold,
+        )
+        run_filter(f"static({threshold:+d})", static)
+    return out
+
+
+def test_ablation_thresholding(benchmark):
+    scale = bench_scale(n_workloads=8)
+    data = benchmark.pedantic(lambda: run_ablation(scale), rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["threshold policy", "geomean vs Discard"],
+        [(k, f"{v:+.2f}%") for k, v in data.items()],
+        "Ablation — adaptive vs static thresholds",
+    ))
+    benchmark.extra_info.update({k: round(v, 2) for k, v in data.items()})
+    statics = [v for k, v in data.items() if k.startswith("static")]
+    assert data["adaptive"] >= max(statics) - 0.5, (
+        "adaptive thresholding should be competitive with the best static choice"
+    )

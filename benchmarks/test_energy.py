@@ -1,0 +1,48 @@
+"""Energy impact of the page-cross policies (Section II-A motivation).
+
+The paper motivates filtering partly by the dynamic energy of useless
+page-cross prefetches (up to 5 useless memory accesses each).  Expected
+shape: Permit spends the most energy per kilo-instruction; DRIPPER's energy
+is near Discard's while delivering better performance, so DRIPPER wins on
+energy-delay product.
+"""
+
+from conftest import bench_scale
+
+from repro.experiments import format_table, geomean, run_policies
+from repro.experiments.energy import energy_delay_product, energy_per_ki
+from repro.workloads import seen_workloads, stratified_sample
+
+
+def run_energy(scale):
+    workloads = stratified_sample(seen_workloads(), scale.n_workloads, scale.seed)
+    res = run_policies(
+        workloads, ["discard", "permit", "dripper"], prefetcher="berti",
+        base_spec=scale.spec(),
+    )
+    out = {}
+    for policy in ("discard", "permit", "dripper"):
+        out[policy] = {
+            "energy_nj_per_ki": geomean([max(energy_per_ki(r), 1e-9) for r in res[policy]]),
+            "edp": geomean([max(energy_delay_product(r), 1e-9) for r in res[policy]]),
+        }
+    return out
+
+
+def test_energy_policies(benchmark):
+    scale = bench_scale(n_workloads=10)
+    data = benchmark.pedantic(lambda: run_energy(scale), rounds=1, iterations=1)
+    rows = [
+        (policy, f"{vals['energy_nj_per_ki']:.1f}", f"{vals['edp']:.1f}")
+        for policy, vals in data.items()
+    ]
+    print()
+    print(format_table(["policy", "nJ/KI (geomean)", "EDP (geomean)"], rows,
+                       "Energy impact of page-cross policies"))
+    for policy, vals in data.items():
+        benchmark.extra_info[policy] = {k: round(v, 2) for k, v in vals.items()}
+
+    # DRIPPER's EDP beats always-permitting (saves both time and energy)
+    assert data["dripper"]["edp"] <= data["permit"]["edp"] * 1.01
+    # and its energy overhead over Discard stays modest
+    assert data["dripper"]["energy_nj_per_ki"] <= data["discard"]["energy_nj_per_ki"] * 1.25

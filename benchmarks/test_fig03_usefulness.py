@@ -1,0 +1,30 @@
+"""Figure 3: useful vs useless page-cross prefetches under Permit PGC.
+
+Paper shape: the full spectrum appears (some workloads ~100% useful, some
+~100% useless), and the average is ~50/50 — state-of-the-art prefetchers are
+not very accurate across pages.
+"""
+
+from conftest import bench_scale
+
+from repro.experiments import fig3_usefulness, format_table
+
+
+def test_fig03_usefulness(benchmark):
+    scale = bench_scale(n_workloads=13)
+    data = benchmark.pedantic(lambda: fig3_usefulness(scale), rounds=1, iterations=1)
+    for prefetcher, block in data.items():
+        rows = [(n, f"{u:.0f}%", f"{x:.0f}%") for n, u, x in block["per_workload_pct"]]
+        print()
+        print(format_table(["workload", "useful", "useless"], rows, f"Figure 3 — {prefetcher}"))
+        print(f"average useful: {block['avg_useful_pct']:.1f}%  useless: {block['avg_useless_pct']:.1f}%")
+        benchmark.extra_info[f"{prefetcher}_avg_useful_pct"] = round(block["avg_useful_pct"], 1)
+
+    for prefetcher, block in data.items():
+        useful = [u for _, u, _ in block["per_workload_pct"]]
+        assert any(u > 80 for u in useful), f"{prefetcher}: no mostly-useful workload"
+        assert any(u < 20 for u in useful), f"{prefetcher}: no mostly-useless workload"
+        assert 20 <= block["avg_useful_pct"] <= 80, (
+            f"{prefetcher}: average usefulness {block['avg_useful_pct']:.0f}% "
+            "should sit between the extremes (paper: ~50%)"
+        )

@@ -1,0 +1,38 @@
+"""Figure 4: Permit PGC's MPKI impact, split by which static policy wins.
+
+Paper shape: where Permit wins, dTLB/L1D/LLC MPKIs drop (dTLB more than
+sTLB); where Discard wins, they rise.
+"""
+
+from conftest import bench_scale
+
+from repro.experiments import fig4_mpki_split, format_table
+
+
+def test_fig04_mpki_split(benchmark):
+    scale = bench_scale(n_workloads=12)
+    data = benchmark.pedantic(lambda: fig4_mpki_split(scale), rounds=1, iterations=1)
+    for side in ("permit_wins", "discard_wins"):
+        rows = [
+            (w["workload"], f"{w['dtlb']:+.2f}", f"{w['stlb']:+.2f}", f"{w['l1d']:+.2f}", f"{w['llc']:+.2f}")
+            for w in data[side]["workloads"]
+        ]
+        print()
+        print(format_table(
+            ["workload", "dTLB dMPKI", "sTLB dMPKI", "L1D dMPKI", "LLC dMPKI"],
+            rows, f"Figure 4 — {side}",
+        ))
+        if data[side]["avg_delta"]:
+            print("avg:", {k: round(v, 2) for k, v in data[side]["avg_delta"].items()})
+
+    permit_avg = data["permit_wins"]["avg_delta"]
+    discard_avg = data["discard_wins"]["avg_delta"]
+    assert data["permit_wins"]["workloads"], "no Permit-winning workloads in sample"
+    assert data["discard_wins"]["workloads"], "no Discard-winning workloads in sample"
+    # where Permit wins, MPKIs drop on average
+    assert permit_avg["l1d"] < 0
+    assert permit_avg["dtlb"] < 0
+    # dTLB is more sensitive than sTLB (smaller structure)
+    assert permit_avg["dtlb"] <= permit_avg["stlb"] + 1e-9
+    benchmark.extra_info["permit_wins_avg"] = {k: round(v, 3) for k, v in permit_avg.items()}
+    benchmark.extra_info["discard_wins_avg"] = {k: round(v, 3) for k, v in discard_avg.items()}

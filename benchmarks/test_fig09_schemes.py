@@ -1,0 +1,29 @@
+"""Figure 9: geomean IPC of all page-cross schemes over Discard PGC.
+
+Paper shape (all three prefetchers): DRIPPER highest; Discard PGC (0 line)
+beats Permit PGC; Discard PTW between Permit and Discard; ISO ~ Permit;
+PPF/PPF+Dthr do not beat Discard.
+"""
+
+from conftest import bench_scale
+
+from repro.experiments import fig9_scheme_comparison, format_scheme_comparison
+
+
+def test_fig09_schemes(benchmark):
+    scale = bench_scale(n_workloads=12)
+    data = benchmark.pedantic(lambda: fig9_scheme_comparison(scale), rounds=1, iterations=1)
+    print()
+    print(format_scheme_comparison(data, "Figure 9 — geomean IPC speedup over Discard PGC"))
+    for prefetcher, row in data.items():
+        for policy, pct in row.items():
+            benchmark.extra_info[f"{prefetcher}/{policy}"] = round(pct, 2)
+
+    for prefetcher, row in data.items():
+        # DRIPPER is the best scheme (small-sample noise tolerance 0.3%)
+        assert row["dripper"] >= max(v for k, v in row.items() if k != "dripper") - 0.3, prefetcher
+        # DRIPPER beats always-permitting and never loses to the baseline
+        assert row["dripper"] > row["permit"], prefetcher
+        assert row["dripper"] > -0.3, f"{prefetcher}: DRIPPER must not lose to Discard PGC"
+    # for the flagship prefetcher the gain must be clearly positive
+    assert data["berti"]["dripper"] > 0

@@ -1,0 +1,33 @@
+"""Figure 10: Berti case study — per-workload s-curves + per-suite geomeans.
+
+Paper shape: DRIPPER beats both static policies for most workloads
+(geomean +1.7% over Discard, +2.5% over Permit); Permit helps a subset but
+hurts most.
+"""
+
+from conftest import bench_scale
+
+from repro.experiments import fig10_berti_breakdown, format_distribution, format_table
+
+
+def test_fig10_berti(benchmark):
+    scale = bench_scale(n_workloads=14)
+    data = benchmark.pedantic(lambda: fig10_berti_breakdown(scale), rounds=1, iterations=1)
+    print()
+    for policy in ("permit", "dripper"):
+        print(f"{policy} s-curve (deciles, % over Discard): "
+              f"{format_distribution(data['s_curves_pct'][policy])}")
+    rows = [
+        (suite, f"{vals.get('permit', 0):+.2f}%", f"{vals.get('dripper', 0):+.2f}%")
+        for suite, vals in sorted(data["per_suite_pct"].items())
+    ]
+    print(format_table(["suite", "permit", "dripper"], rows, "Figure 10 — per-suite geomean"))
+    print(f"overall: permit {data['overall_pct']['permit']:+.2f}%, "
+          f"dripper {data['overall_pct']['dripper']:+.2f}%")
+    benchmark.extra_info["overall"] = {k: round(v, 2) for k, v in data["overall_pct"].items()}
+
+    assert data["overall_pct"]["dripper"] > data["overall_pct"]["permit"]
+    assert data["overall_pct"]["dripper"] > 0
+    # Permit helps some workloads and hurts others (spread in the s-curve)
+    curve = data["s_curves_pct"]["permit"]
+    assert curve[0] < 0 < curve[-1]

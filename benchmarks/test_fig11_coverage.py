@@ -1,0 +1,37 @@
+"""Figure 11: miss coverage (top) and prefetch accuracy (bottom).
+
+Paper shape: DRIPPER matches Permit PGC's coverage (~same gain over Discard)
+while beating it clearly on accuracy (Permit *reduces* accuracy vs Discard,
+DRIPPER does not).
+"""
+
+from conftest import bench_scale
+
+from repro.experiments import fig11_coverage_accuracy, format_table
+
+
+def test_fig11_coverage_accuracy(benchmark):
+    scale = bench_scale(n_workloads=12)
+    data = benchmark.pedantic(lambda: fig11_coverage_accuracy(scale), rounds=1, iterations=1)
+    rows = []
+    for suite, policies in sorted(data["per_suite"].items()):
+        rows.append((
+            suite,
+            f"{policies['permit']['coverage_delta_pct']:+.1f}%",
+            f"{policies['dripper']['coverage_delta_pct']:+.1f}%",
+            f"{policies['permit']['accuracy_delta_pct']:+.1f}%",
+            f"{policies['dripper']['accuracy_delta_pct']:+.1f}%",
+        ))
+    print()
+    print(format_table(
+        ["suite", "cov(permit)", "cov(dripper)", "acc(permit)", "acc(dripper)"],
+        rows, "Figure 11 — coverage / accuracy deltas over Discard PGC",
+    ))
+    overall = data["overall"]
+    print("overall:", {k: {m: round(v, 2) for m, v in d.items()} for k, d in overall.items()})
+    benchmark.extra_info["overall"] = overall
+
+    # DRIPPER keeps most of Permit's coverage gain...
+    assert overall["dripper"]["coverage_delta_pct"] >= 0.5 * overall["permit"]["coverage_delta_pct"]
+    # ...while being clearly more accurate than Permit
+    assert overall["dripper"]["accuracy_delta_pct"] > overall["permit"]["accuracy_delta_pct"]

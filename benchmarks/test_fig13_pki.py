@@ -1,0 +1,27 @@
+"""Figure 13: useful/useless page-cross prefetches per kilo-instruction.
+
+Paper shape: DRIPPER's useful-PKI distribution matches Permit's (same hits)
+while its useless-PKI distribution is concentrated near zero.
+"""
+
+from conftest import bench_scale
+
+from repro.experiments import fig13_pgc_pki, format_distribution
+
+
+def test_fig13_pki(benchmark):
+    scale = bench_scale(n_workloads=14)
+    data = benchmark.pedantic(lambda: fig13_pgc_pki(scale), rounds=1, iterations=1)
+    print()
+    for policy in ("permit", "dripper"):
+        print(f"{policy}: useful PKI deciles  {format_distribution(data[policy]['useful_pki'])}")
+        print(f"{policy}: useless PKI deciles {format_distribution(data[policy]['useless_pki'])}")
+        print(f"{policy}: avg useful {data[policy]['avg_useful_pki']:.2f} "
+              f"useless {data[policy]['avg_useless_pki']:.2f}")
+        benchmark.extra_info[f"{policy}_avg_useful_pki"] = round(data[policy]["avg_useful_pki"], 3)
+        benchmark.extra_info[f"{policy}_avg_useless_pki"] = round(data[policy]["avg_useless_pki"], 3)
+
+    # DRIPPER keeps most useful page-cross prefetches...
+    assert data["dripper"]["avg_useful_pki"] >= 0.6 * data["permit"]["avg_useful_pki"]
+    # ...and issues far fewer useless ones
+    assert data["dripper"]["avg_useless_pki"] < 0.5 * data["permit"]["avg_useless_pki"]

@@ -1,0 +1,20 @@
+"""Figure 15: DRIPPER vs DRIPPER-SF (system features only).
+
+Paper shape: full DRIPPER beats DRIPPER-SF (by ~0.9% geomean) because the
+program feature adds per-delta discrimination the system features lack.
+"""
+
+from conftest import bench_scale
+
+from repro.experiments import fig15_dripper_sf
+
+
+def test_fig15_dripper_sf(benchmark):
+    scale = bench_scale(n_workloads=10)
+    data = benchmark.pedantic(lambda: fig15_dripper_sf(scale), rounds=1, iterations=1)
+    print()
+    print(f"Figure 15 — DRIPPER {data['dripper_pct']:+.2f}% vs DRIPPER-SF {data['dripper_sf_pct']:+.2f}%")
+    benchmark.extra_info.update({k: round(v, 2) for k, v in data.items()})
+
+    assert data["dripper_pct"] >= data["dripper_sf_pct"] - 0.1
+    assert data["dripper_pct"] > 0

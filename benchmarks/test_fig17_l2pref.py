@@ -1,0 +1,27 @@
+"""Figure 17: impact of L2C prefetching on DRIPPER's gains.
+
+Paper shape: DRIPPER beats Permit and Discard under every L2 prefetcher
+(None / SPP / IPCP / BOP); its margin is largest with no L2 prefetcher.
+"""
+
+from conftest import bench_scale
+
+from repro.experiments import fig17_l2_prefetchers, format_table
+
+
+def test_fig17_l2_prefetchers(benchmark):
+    scale = bench_scale(n_workloads=10)
+    data = benchmark.pedantic(lambda: fig17_l2_prefetchers(scale), rounds=1, iterations=1)
+    rows = [
+        (l2, f"{vals['permit_pct']:+.2f}%", f"{vals['dripper_pct']:+.2f}%")
+        for l2, vals in data.items()
+    ]
+    print()
+    print(format_table(["L2 prefetcher", "permit", "dripper"], rows, "Figure 17"))
+    for l2, vals in data.items():
+        benchmark.extra_info[l2] = {k: round(v, 2) for k, v in vals.items()}
+
+    for l2, vals in data.items():
+        assert vals["dripper_pct"] > vals["permit_pct"], f"under L2={l2}"
+        # sampling tolerance: DRIPPER must never lose materially to Discard
+        assert vals["dripper_pct"] > -0.5, f"DRIPPER should not lose to Discard under L2={l2}"

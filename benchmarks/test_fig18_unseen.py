@@ -1,0 +1,26 @@
+"""Figure 18: unseen workloads (not used during DRIPPER's design).
+
+Paper shape: trends match the seen set — DRIPPER beats both static policies
+(+1.2% over Discard, +2.1% over Permit in the paper).
+"""
+
+from conftest import bench_scale
+
+from repro.experiments import fig18_unseen, format_distribution
+
+
+def test_fig18_unseen(benchmark):
+    scale = bench_scale(n_workloads=14)
+    data = benchmark.pedantic(lambda: fig18_unseen(scale), rounds=1, iterations=1)
+    print()
+    print(f"Figure 18 — unseen workloads: permit {data['permit_pct']:+.2f}%, "
+          f"dripper {data['dripper_pct']:+.2f}% (geomean over Discard)")
+    print(f"dripper per-workload deciles: "
+          f"{format_distribution(data['per_workload_dripper_pct'])}")
+    benchmark.extra_info["permit_pct"] = round(data["permit_pct"], 2)
+    benchmark.extra_info["dripper_pct"] = round(data["dripper_pct"], 2)
+
+    assert data["dripper_pct"] > data["permit_pct"] + 0.5, (
+        "DRIPPER must clearly beat always-permitting on unseen workloads"
+    )
+    assert data["dripper_pct"] > -0.3, "DRIPPER must not lose to Discard on unseen workloads"

@@ -1,0 +1,43 @@
+"""Section III-D3: the offline feature-selection procedure behind Table II.
+
+Runs the greedy selection for Berti on a reduced candidate list and a small
+workload sample.  Paper shape: a Delta-based program feature should rank at
+or near the top, and the selected set should beat Discard PGC.
+"""
+
+from repro.core.selection import select_features
+from repro.workloads import seen_workloads, stratified_sample
+
+#: reduced candidate list (full: 55 program + 6 system features)
+PROGRAM_CANDIDATES = ("Delta", "PC^Delta", "PC", "VA>>12", "CacheLineOffset")
+SYSTEM_CANDIDATES = ("sTLB MPKI", "sTLB Miss Rate", "LLC Miss Rate")
+
+
+def test_feature_selection(benchmark):
+    workloads = stratified_sample(seen_workloads(), 6, seed=3)
+    report = benchmark.pedantic(
+        lambda: select_features(
+            "berti", workloads,
+            program_candidates=PROGRAM_CANDIDATES,
+            system_candidates=SYSTEM_CANDIDATES,
+            warmup_instructions=8_000,
+            sim_instructions=24_000,
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    print("Feature selection (berti) — single-feature ranking:")
+    for score in report.scores:
+        kind = "system " if score.is_system else "program"
+        print(f"  {kind} {score.name:20s} {100 * (score.speedup - 1):+.2f}%")
+    print(f"selected: program={report.selected_program} system={report.selected_system}")
+    print(f"final geomean speedup: {100 * (report.final_speedup - 1):+.2f}%")
+    benchmark.extra_info["selected_program"] = report.selected_program
+    benchmark.extra_info["selected_system"] = report.selected_system
+    benchmark.extra_info["final_pct"] = round(100 * (report.final_speedup - 1), 2)
+
+    ranked = [s.name for s in report.scores]
+    delta_rank = min(ranked.index("Delta"), ranked.index("PC^Delta"))
+    assert delta_rank <= 2, "a Delta-based feature should rank near the top (Table II)"
+    assert report.final_speedup > 1.0
+    assert report.selected_program or report.selected_system

@@ -1,0 +1,43 @@
+"""Sensitivity: DRIPPER's gains vs sTLB size.
+
+Page-cross prefetching interacts with TLB reach: with a tiny sTLB,
+speculative walks are frequent (higher risk, higher reward); with a huge
+sTLB translations are mostly resident and the TLB-side benefit shrinks.
+The filter should deliver gains across the sweep and never lose badly.
+"""
+
+from conftest import bench_scale
+
+from repro.experiments import format_table
+from repro.experiments.runner import RunSpec
+from repro.experiments.sweep import stlb_size_transform, sweep_parameter
+from repro.workloads import seen_workloads, stratified_sample
+
+#: sTLB sizes (entries, 12-way): quarter / half / paper / double
+STLB_SIZES = (384, 768, 1536, 3072)
+
+
+def test_sensitivity_stlb_size(benchmark):
+    scale = bench_scale(n_workloads=6)
+    workloads = stratified_sample(seen_workloads(), scale.n_workloads, scale.seed)
+    spec = RunSpec(
+        prefetcher="berti",
+        warmup_instructions=scale.warmup_instructions,
+        sim_instructions=scale.sim_instructions,
+    )
+    data = benchmark.pedantic(
+        lambda: sweep_parameter(workloads, stlb_size_transform, STLB_SIZES, base_spec=spec),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        (entries, f"{vals['permit']:+.2f}%", f"{vals['dripper']:+.2f}%")
+        for entries, vals in data.items()
+    ]
+    print()
+    print(format_table(["sTLB entries", "permit", "dripper"], rows, "Sensitivity — sTLB size"))
+    for entries, vals in data.items():
+        benchmark.extra_info[str(entries)] = {k: round(v, 2) for k, v in vals.items()}
+
+    for entries, vals in data.items():
+        assert vals["dripper"] >= vals["permit"] - 0.3, f"sTLB={entries}"
+        assert vals["dripper"] > -1.0, f"sTLB={entries}: DRIPPER must not lose badly"

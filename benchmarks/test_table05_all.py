@@ -1,0 +1,30 @@
+"""Table V: geomeans over seen / unseen / all (incl. non-intensive) workloads.
+
+Paper shape: Permit negative everywhere (-0.8/-0.9/-0.6%); DRIPPER positive
+everywhere (+1.7/+1.2/+0.4%), with smaller gains once non-intensive
+workloads dilute the geomean — and no harm to the non-intensive set.
+"""
+
+from conftest import bench_scale
+
+from repro.experiments import format_table, table5_all_workloads
+
+
+def test_table05_all_workloads(benchmark):
+    scale = bench_scale(n_workloads=10)
+    data = benchmark.pedantic(lambda: table5_all_workloads(scale), rounds=1, iterations=1)
+    rows = [
+        (label, f"{vals['permit']:+.2f}%", f"{vals['dripper']:+.2f}%")
+        for label, vals in data.items()
+    ]
+    print()
+    print(format_table(["set", "Berti+Permit", "Berti+DRIPPER"], rows, "Table V"))
+    for label, vals in data.items():
+        benchmark.extra_info[label] = {k: round(v, 2) for k, v in vals.items()}
+
+    assert data["seen"]["dripper"] > 0
+    assert data["seen"]["dripper"] > data["seen"]["permit"]
+    assert data["unseen"]["dripper"] > data["unseen"]["permit"]
+    # DRIPPER must not harm non-intensive workloads
+    assert data["non_intensive"]["dripper"] > -0.5
+    assert data["all"]["dripper"] > data["all"]["permit"]

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Graph analytics case study: why page-cross prefetching is graph-shaped.
+
+Runs the GAP-style CSR traversals on a road network (high locality: node
+order ~ memory order) and a web graph (frontier jumps: offset pages visited
+out of order), showing that the *same algorithm* flips from page-cross
+friendly to page-cross hostile with the input graph — and that DRIPPER
+adapts to both.
+
+Usage::
+
+    python examples/graph_analytics.py
+"""
+
+from repro import DiscardPgc, PermitPgc, SimConfig, by_name, make_dripper, simulate
+
+
+def run(workload_name: str, factory) -> "tuple[float, int, int]":
+    config = SimConfig(
+        prefetcher="berti",
+        policy_factory=factory,
+        warmup_instructions=15_000,
+        sim_instructions=45_000,
+    )
+    r = simulate(by_name(workload_name), config)
+    return r.ipc, r.pgc_useful, r.pgc_useless
+
+
+def main() -> None:
+    print(f"{'workload':<12} {'policy':<12} {'IPC':>6} {'vs discard':>11} "
+          f"{'pgc useful':>11} {'pgc useless':>12}")
+    for graph in ("cc.road", "cc.web", "pr.road", "pr.web"):
+        base_ipc = None
+        for label, factory in (
+            ("discard", DiscardPgc),
+            ("permit", PermitPgc),
+            ("dripper", lambda: make_dripper("berti")),
+        ):
+            ipc, useful, useless = run(graph, factory)
+            if base_ipc is None:
+                base_ipc = ipc
+            print(f"{graph:<12} {label:<12} {ipc:6.3f} {100 * (ipc / base_ipc - 1):+10.1f}% "
+                  f"{useful:11d} {useless:12d}")
+        print()
+    print("Road graphs: crossing pages follows the traversal -> Permit wins, DRIPPER follows.")
+    print("Web graphs: frontier jumps make crossings guesses -> Discard wins, DRIPPER follows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Full-registry validation: geomeans over ALL seen/unseen workloads.
+
+Runs Berti under Discard/Permit/DRIPPER across the complete 218-workload
+seen set (and optionally the 178 unseen), reporting the true geomeans the
+bench samples approximate.  Also reports, for a range of sample seeds, how
+close each stratified sample's geomean lands to the full-set value — used to
+pick the default bench seed (documented in EXPERIMENTS.md).
+
+Takes ~15-40 minutes depending on trace length; writes a JSON summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.experiments.metrics import geomean_speedup, speedup_percent
+from repro.experiments.runner import RunSpec, run_policies
+from repro.workloads import seen_workloads, stratified_sample, unseen_workloads
+
+POLICIES = ("discard", "permit", "dripper")
+
+
+def run_set(workloads, spec, label):
+    t0 = time.time()
+    results = run_policies(list(workloads), POLICIES, prefetcher="berti", base_spec=spec)
+    base = results["discard"]
+    out = {}
+    for policy in ("permit", "dripper"):
+        out[policy] = speedup_percent(geomean_speedup(results[policy], base))
+    per_workload = {
+        policy: {
+            r.workload: speedup_percent(r.speedup_over(b))
+            for r, b in zip(results[policy], base)
+        }
+        for policy in ("permit", "dripper")
+    }
+    print(f"[{label}] permit {out['permit']:+.2f}%  dripper {out['dripper']:+.2f}%  "
+          f"({len(base)} workloads, {time.time() - t0:.0f}s)")
+    return out, per_workload
+
+
+def seed_representativeness(full_per_workload, pool, n, seeds):
+    """Geomean of each candidate sample, computed from the full-set runs."""
+    import math
+
+    rows = []
+    for seed in seeds:
+        sample = {w.name for w in stratified_sample(pool, n, seed)}
+        for policy in ("permit", "dripper"):
+            gains = [
+                1 + full_per_workload[policy][name] / 100
+                for name in sample
+                if name in full_per_workload[policy]
+            ]
+            g = 100 * (math.exp(sum(math.log(v) for v in gains) / len(gains)) - 1)
+            rows.append((seed, policy, round(g, 2)))
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--warmup", type=int, default=12_000)
+    parser.add_argument("--sim", type=int, default=36_000)
+    parser.add_argument("--skip-unseen", action="store_true")
+    parser.add_argument("--out", default="fullset-validation.json")
+    parser.add_argument("--sample-size", type=int, default=14)
+    parser.add_argument("--seeds", type=int, nargs="*", default=list(range(1, 9)))
+    args = parser.parse_args()
+
+    spec = RunSpec(warmup_instructions=args.warmup, sim_instructions=args.sim)
+    summary = {}
+    seen_out, seen_pw = run_set(seen_workloads(), spec, "seen/218")
+    summary["seen"] = seen_out
+    print("\nsample representativeness (seen):")
+    for seed, policy, g in seed_representativeness(seen_pw, seen_workloads(), args.sample_size, args.seeds):
+        print(f"  seed {seed} {policy:8s} {g:+.2f}%")
+    summary["seen_per_workload"] = seen_pw
+
+    if not args.skip_unseen:
+        unseen_out, unseen_pw = run_set(unseen_workloads(), spec, "unseen/178")
+        summary["unseen"] = unseen_out
+        summary["unseen_per_workload"] = unseen_pw
+
+    with open(args.out, "w") as fh:
+        json.dump(summary, fh, indent=1)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

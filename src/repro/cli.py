@@ -1,0 +1,206 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro run       --workload astar --prefetcher berti --policy dripper
+    python -m repro compare   --workload astar --policies discard permit dripper
+    python -m repro workloads --set seen --suite GAP
+    python -m repro features
+    python -m repro storage
+    python -m repro snapshot  --workload astar --out astar.rptr --instructions 100000
+    python -m repro convert   --champsim trace.bin --out trace.rptr
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.dripper import storage_breakdown_bits, storage_overhead_kib
+from repro.core.features import FEATURES, TABLE_I_FEATURES
+from repro.core.system_features import SYSTEM_FEATURES
+from repro.experiments.report import format_pct, format_table
+from repro.experiments.runner import RunSpec, run_one
+from repro.workloads import (
+    by_name,
+    non_intensive_workloads,
+    seen_workloads,
+    unseen_workloads,
+)
+from repro.workloads.trace_io import FileWorkload, convert_champsim, snapshot_workload
+
+_POLICIES = ("discard", "permit", "discard-ptw", "iso", "ppf", "ppf+dthr", "dripper", "dripper-sf")
+
+
+def _spec(args: argparse.Namespace, policy: str) -> RunSpec:
+    return RunSpec(
+        prefetcher=args.prefetcher,
+        policy=policy,
+        l2_prefetcher=args.l2,
+        warmup_instructions=args.warmup,
+        sim_instructions=args.sim,
+        large_page_fraction=args.large_pages,
+    )
+
+
+def _result_rows(result) -> list[tuple[str, str]]:
+    return [
+        ("IPC", f"{result.ipc:.4f}"),
+        ("L1D MPKI", f"{result.l1d_mpki:.2f}"),
+        ("LLC MPKI", f"{result.llc_mpki:.2f}"),
+        ("dTLB MPKI", f"{result.dtlb_mpki:.2f}"),
+        ("sTLB MPKI", f"{result.stlb_mpki:.2f}"),
+        ("prefetch accuracy", f"{result.prefetch_accuracy:.3f}"),
+        ("prefetch coverage", f"{result.prefetch_coverage:.3f}"),
+        ("pgc issued/discarded", f"{result.pgc_issued}/{result.pgc_discarded}"),
+        ("pgc useful/useless", f"{result.pgc_useful}/{result.pgc_useless}"),
+        ("speculative walks", str(result.speculative_walks)),
+        ("DRAM reads/writes", f"{result.dram_reads}/{result.dram_writes}"),
+    ]
+
+
+def _resolve_workload(args: argparse.Namespace):
+    if getattr(args, "trace_file", None):
+        return FileWorkload(args.trace_file)
+    return by_name(args.workload)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """`repro run`: one workload, one policy, full metric table."""
+    workload = _resolve_workload(args)
+    result = run_one(workload, _spec(args, args.policy))
+    print(format_table(["metric", "value"], _result_rows(result),
+                       f"{workload.name} / {args.prefetcher} / {args.policy}"))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """`repro compare`: one workload under several policies."""
+    workload = _resolve_workload(args)
+    results = [run_one(workload, _spec(args, policy)) for policy in args.policies]
+    base = results[0]
+    rows = [
+        (r.policy, f"{r.ipc:.4f}", format_pct(100 * (r.speedup_over(base) - 1)),
+         f"{r.pgc_issued}", f"{r.pgc_useful}", f"{r.pgc_useless}")
+        for r in results
+    ]
+    print(format_table(
+        ["policy", "IPC", f"vs {args.policies[0]}", "pgc issued", "useful", "useless"],
+        rows, f"{workload.name} / {args.prefetcher}",
+    ))
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    """`repro workloads`: list a registry set, optionally by suite."""
+    sets = {
+        "seen": seen_workloads,
+        "unseen": unseen_workloads,
+        "non-intensive": non_intensive_workloads,
+    }
+    workloads = sets[args.set]()
+    rows = [
+        (w.name, w.suite, f"{w.mean_gap:.1f}")
+        for w in workloads
+        if args.suite is None or w.suite == args.suite
+    ]
+    print(format_table(["name", "suite", "mean gap"], rows, f"{args.set} workloads ({len(rows)})"))
+    return 0
+
+
+def cmd_features(args: argparse.Namespace) -> int:
+    """`repro features`: print the MOKA feature library."""
+    rows = [(name, "Table I" if f.table_i else "expansion") for name, f in sorted(FEATURES.items())]
+    print(format_table(["program feature", "origin"], rows, f"{len(FEATURES)} program features"))
+    print()
+    print(format_table(
+        ["system feature", "active when"],
+        [(s.name, f"value {s.direction} {s.default_threshold}") for s in SYSTEM_FEATURES.values()],
+        f"{len(SYSTEM_FEATURES)} system features",
+    ))
+    print(f"\nTable I subset: {len(TABLE_I_FEATURES)} features")
+    return 0
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """`repro snapshot`: materialise a workload as a native trace file."""
+    count = snapshot_workload(by_name(args.workload), args.out, args.instructions)
+    print(f"wrote {count} records ({args.instructions} instructions) to {args.out}")
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    """`repro convert`: ChampSim trace -> native trace."""
+    count = convert_champsim(args.champsim, args.out, max_instructions=args.max_instructions)
+    print(f"converted {count} records to {args.out}")
+    return 0
+
+
+def cmd_storage(args: argparse.Namespace) -> int:
+    """`repro storage`: DRIPPER's Table III accounting."""
+    bits = storage_breakdown_bits()
+    rows = [(component, f"{b} bits", f"{b / 8 / 1024:.4f} KiB") for component, b in bits.items()]
+    print(format_table(["component", "bits", "KiB"], rows, "DRIPPER storage (Table III)"))
+    print(f"total: {storage_overhead_kib():.3f} KiB")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_sim_args(p: argparse.ArgumentParser) -> None:
+        group = p.add_mutually_exclusive_group(required=True)
+        group.add_argument("--workload", help="registry workload name")
+        group.add_argument("--trace-file", help="native trace file to replay")
+        p.add_argument("--prefetcher", default="berti",
+                       choices=("berti", "berti-timely", "ipcp", "bop", "stride", "next-line", "none"))
+        p.add_argument("--l2", default="none", choices=("none", "spp", "ipcp", "bop"))
+        p.add_argument("--warmup", type=int, default=20_000)
+        p.add_argument("--sim", type=int, default=60_000)
+        p.add_argument("--large-pages", type=float, default=0.0,
+                       help="fraction of 2MB-backed regions (0..1)")
+
+    run_p = sub.add_parser("run", help="run one workload under one policy")
+    add_sim_args(run_p)
+    run_p.add_argument("--policy", default="dripper", choices=_POLICIES)
+    run_p.set_defaults(func=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="run one workload under several policies")
+    add_sim_args(cmp_p)
+    cmp_p.add_argument("--policies", nargs="+", default=["discard", "permit", "dripper"],
+                       choices=_POLICIES)
+    cmp_p.set_defaults(func=cmd_compare)
+
+    wl_p = sub.add_parser("workloads", help="list registered workloads")
+    wl_p.add_argument("--set", default="seen", choices=("seen", "unseen", "non-intensive"))
+    wl_p.add_argument("--suite", default=None)
+    wl_p.set_defaults(func=cmd_workloads)
+
+    sub.add_parser("features", help="list MOKA's feature library").set_defaults(func=cmd_features)
+    sub.add_parser("storage", help="DRIPPER storage accounting (Table III)").set_defaults(func=cmd_storage)
+
+    snap_p = sub.add_parser("snapshot", help="materialise a registry workload as a trace file")
+    snap_p.add_argument("--workload", required=True)
+    snap_p.add_argument("--out", required=True)
+    snap_p.add_argument("--instructions", type=int, default=100_000)
+    snap_p.set_defaults(func=cmd_snapshot)
+
+    conv_p = sub.add_parser("convert", help="convert a ChampSim trace to the native format")
+    conv_p.add_argument("--champsim", required=True)
+    conv_p.add_argument("--out", required=True)
+    conv_p.add_argument("--max-instructions", type=int, default=None)
+    conv_p.set_defaults(func=cmd_convert)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point (also exposed as the `repro` console script)."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

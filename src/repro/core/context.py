@@ -1,0 +1,79 @@
+"""Per-core feature context and prefetch-request descriptors.
+
+The :class:`FeatureContext` tracks the prefetcher-independent program state
+that MOKA's program features (Table I) are computed from: the last three
+PCs and virtual addresses, and whether the triggering access is the first
+touch of its page.  The simulator updates it on every demand L1D access.
+"""
+
+from __future__ import annotations
+
+from repro.vm.address import LINE_SHIFT, PAGE_4K_SHIFT, LINES_PER_PAGE_4K
+
+
+class PrefetchRequest:
+    """A prefetch candidate produced by an L1D prefetcher."""
+
+    __slots__ = ("vaddr", "pc", "delta", "meta")
+
+    def __init__(self, vaddr: int, pc: int, delta: int, meta: int = 0):
+        self.vaddr = vaddr
+        self.pc = pc
+        #: signed distance in cache lines from the triggering access
+        self.delta = delta
+        #: optional prefetcher-specific metadata (e.g. degree index) consumed
+        #: by specialized features (repro.core.specialized)
+        self.meta = meta
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PrefetchRequest(vaddr={self.vaddr:#x}, pc={self.pc:#x}, delta={self.delta})"
+
+
+class FeatureContext:
+    """Rolling program state consumed by MOKA's program features."""
+
+    __slots__ = (
+        "pc_history",
+        "va_history",
+        "last_pc",
+        "last_vaddr",
+        "first_page_access",
+        "_seen_pages",
+        "_seen_cap",
+        "_seen_tick",
+    )
+
+    def __init__(self, seen_pages_capacity: int = 512):
+        self.pc_history = [0, 0, 0]  # most recent first
+        self.va_history = [0, 0, 0]
+        self.last_pc = 0
+        self.last_vaddr = 0
+        #: True when the most recent demand access was the first touch of its page
+        self.first_page_access = False
+        self._seen_pages: dict[int, int] = {}
+        self._seen_cap = seen_pages_capacity
+        self._seen_tick = 0
+
+    def update(self, pc: int, vaddr: int) -> None:
+        """Record a demand L1D access."""
+        self._seen_tick += 1
+        page = vaddr >> PAGE_4K_SHIFT
+        self.first_page_access = page not in self._seen_pages
+        if self.first_page_access and len(self._seen_pages) >= self._seen_cap:
+            victim = min(self._seen_pages, key=self._seen_pages.get)
+            del self._seen_pages[victim]
+        self._seen_pages[page] = self._seen_tick
+        ph = self.pc_history
+        vh = self.va_history
+        ph[2] = ph[1]
+        ph[1] = ph[0]
+        ph[0] = pc
+        vh[2] = vh[1]
+        vh[1] = vh[0]
+        vh[0] = vaddr
+        self.last_pc = pc
+        self.last_vaddr = vaddr
+
+    def line_offset(self, vaddr: int) -> int:
+        """Cache-line index of `vaddr` within its 4KB page."""
+        return (vaddr >> LINE_SHIFT) & (LINES_PER_PAGE_4K - 1)

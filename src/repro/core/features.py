@@ -1,0 +1,160 @@
+"""MOKA's program-feature library (Section III-D1, Table I).
+
+A *program feature* maps the triggering load (PC, VA, history) plus the
+prefetch request's delta to an integer that indexes a perceptron weight
+table.  Features are prefetcher-independent by design: nothing here peeks at
+prefetcher metadata.
+
+The module provides:
+
+* the 19 best-performing features of Table I, by name;
+* the wider 55-feature exploration space of Section III-D1 (the paper does
+  not enumerate all 55; we complete the space with systematic shift/xor
+  combinations of the same primitives and mark which entries are Table I);
+* :func:`fold_hash`, the hash used to index weight tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.context import FeatureContext, PrefetchRequest
+from repro.vm.address import LINE_SHIFT, LINES_PER_PAGE_4K
+
+#: extractor(request, context) -> integer feature value
+Extractor = Callable[[PrefetchRequest, FeatureContext], int]
+
+
+def fold_hash(value: int, bits: int) -> int:
+    """XOR-fold a feature value into a `bits`-wide weight-table index."""
+    value &= 0xFFFFFFFFFFFF
+    h = value
+    h ^= h >> bits
+    h ^= h >> (2 * bits)
+    h ^= h >> (3 * bits)
+    return h & ((1 << bits) - 1)
+
+
+@dataclass(frozen=True)
+class ProgramFeature:
+    """A named program feature."""
+
+    name: str
+    extractor: Extractor
+    table_i: bool = False  # True for the Table I "best performing" subset
+
+    def value(self, req: PrefetchRequest, ctx: FeatureContext) -> int:
+        """Raw feature value for this request/context."""
+        return self.extractor(req, ctx)
+
+    def index(self, req: PrefetchRequest, ctx: FeatureContext, bits: int) -> int:
+        """Weight-table index: the hashed feature value."""
+        return fold_hash(self.extractor(req, ctx), bits)
+
+
+def _offset(vaddr: int) -> int:
+    return (vaddr >> LINE_SHIFT) & (LINES_PER_PAGE_4K - 1)
+
+
+def _d(req: PrefetchRequest) -> int:
+    # two's-complement-ish encoding so negative deltas hash distinctly
+    return req.delta & 0xFFF
+
+
+# -- Table I extractors ------------------------------------------------------
+# VA/PC refer to the *triggering* demand load; Delta is the prefetch delta.
+
+_TABLE_I: list[tuple[str, Extractor]] = [
+    ("VA", lambda r, c: c.last_vaddr),
+    ("VA>>12", lambda r, c: c.last_vaddr >> 12),
+    ("VA>>21", lambda r, c: c.last_vaddr >> 21),
+    ("CacheLineOffset", lambda r, c: _offset(c.last_vaddr)),
+    ("PC", lambda r, c: r.pc),
+    ("PC+CacheLineOffset", lambda r, c: r.pc + _offset(c.last_vaddr)),
+    ("VA_i-2^VA_i-1^VA_i", lambda r, c: c.va_history[2] ^ c.va_history[1] ^ c.va_history[0]),
+    (
+        "(VA_i-2>>12)^(VA_i-1>>12)^(VA_i>>12)",
+        lambda r, c: (c.va_history[2] >> 12) ^ (c.va_history[1] >> 12) ^ (c.va_history[0] >> 12),
+    ),
+    ("PC_i-2^PC_i-1^PC_i", lambda r, c: c.pc_history[2] ^ c.pc_history[1] ^ c.pc_history[0]),
+    ("PC^VA", lambda r, c: r.pc ^ c.last_vaddr),
+    ("PC^(VA>>12)", lambda r, c: r.pc ^ (c.last_vaddr >> 12)),
+    ("VA^Delta", lambda r, c: c.last_vaddr ^ _d(r)),
+    ("PC^Delta", lambda r, c: r.pc ^ _d(r)),
+    ("(VA>>12)^Delta", lambda r, c: (c.last_vaddr >> 12) ^ _d(r)),
+    ("PC^FirstPageAccess", lambda r, c: (r.pc << 1) | c.first_page_access),
+    ("VA^FirstPageAccess", lambda r, c: (c.last_vaddr << 1) | c.first_page_access),
+    ("(VA>>12)^FirstPageAccess", lambda r, c: ((c.last_vaddr >> 12) << 1) | c.first_page_access),
+    ("CacheLineOffset+FirstPageAccess", lambda r, c: _offset(c.last_vaddr) + c.first_page_access),
+    ("Delta+FirstPageAccess", lambda r, c: _d(r) + c.first_page_access),
+]
+
+# The standalone Delta feature is what DRIPPER selects for Berti (Table II);
+# the paper lists it as part of the explored space.
+_EXTRA_CORE: list[tuple[str, Extractor]] = [
+    ("Delta", lambda r, c: _d(r)),
+    ("TargetVA", lambda r, c: r.vaddr),
+    ("TargetVA>>12", lambda r, c: r.vaddr >> 12),
+    ("TargetCacheLineOffset", lambda r, c: _offset(r.vaddr)),
+]
+
+# Systematic combinations completing the 55-feature exploration space.
+_EXPANSION: list[tuple[str, Extractor]] = [
+    ("VA>>6", lambda r, c: c.last_vaddr >> 6),
+    ("VA>>16", lambda r, c: c.last_vaddr >> 16),
+    ("PC>>2", lambda r, c: r.pc >> 2),
+    ("PC+Delta", lambda r, c: r.pc + _d(r)),
+    ("PC-Delta", lambda r, c: (r.pc - _d(r)) & 0xFFFFFFFFFFFF),
+    ("CacheLineOffset^Delta", lambda r, c: _offset(c.last_vaddr) ^ _d(r)),
+    ("CacheLineOffset+Delta", lambda r, c: _offset(c.last_vaddr) + _d(r)),
+    ("(VA>>21)^Delta", lambda r, c: (c.last_vaddr >> 21) ^ _d(r)),
+    ("(VA>>21)^PC", lambda r, c: (c.last_vaddr >> 21) ^ r.pc),
+    ("VA+Delta", lambda r, c: c.last_vaddr + _d(r)),
+    ("(VA>>12)+Delta", lambda r, c: (c.last_vaddr >> 12) + _d(r)),
+    ("PC^(VA>>21)^Delta", lambda r, c: r.pc ^ (c.last_vaddr >> 21) ^ _d(r)),
+    ("PC^(VA>>12)^Delta", lambda r, c: r.pc ^ (c.last_vaddr >> 12) ^ _d(r)),
+    ("PC^CacheLineOffset", lambda r, c: r.pc ^ _offset(c.last_vaddr)),
+    ("PC_i-1^PC_i", lambda r, c: c.pc_history[1] ^ c.pc_history[0]),
+    ("PC_i-1^Delta", lambda r, c: c.pc_history[1] ^ _d(r)),
+    ("VA_i-1^VA_i", lambda r, c: c.va_history[1] ^ c.va_history[0]),
+    ("(VA_i-1>>12)^(VA_i>>12)", lambda r, c: (c.va_history[1] >> 12) ^ (c.va_history[0] >> 12)),
+    ("Delta^FirstPageAccess", lambda r, c: (_d(r) << 1) | c.first_page_access),
+    ("PC^Delta^FirstPageAccess", lambda r, c: ((r.pc ^ _d(r)) << 1) | c.first_page_access),
+    ("TargetVA^PC", lambda r, c: r.vaddr ^ r.pc),
+    ("TargetVA>>12^PC", lambda r, c: (r.vaddr >> 12) ^ r.pc),
+    ("TargetCacheLineOffset^PC", lambda r, c: _offset(r.vaddr) ^ r.pc),
+    ("TargetCacheLineOffset+Delta", lambda r, c: _offset(r.vaddr) + _d(r)),
+    ("VA_i-2^VA_i-1^VA_i^Delta", lambda r, c: c.va_history[2] ^ c.va_history[1] ^ c.va_history[0] ^ _d(r)),
+    ("PC_i-2^PC_i-1^PC_i^Delta", lambda r, c: c.pc_history[2] ^ c.pc_history[1] ^ c.pc_history[0] ^ _d(r)),
+    ("(VA>>12)^CacheLineOffset", lambda r, c: (c.last_vaddr >> 12) ^ _offset(c.last_vaddr)),
+    ("VA>>18", lambda r, c: c.last_vaddr >> 18),
+    ("PC^(VA>>6)", lambda r, c: r.pc ^ (c.last_vaddr >> 6)),
+    ("PC+VA", lambda r, c: r.pc + c.last_vaddr),
+    ("Delta<<6^CacheLineOffset", lambda r, c: (_d(r) << 6) ^ _offset(c.last_vaddr)),
+    ("PC^Delta^CacheLineOffset", lambda r, c: r.pc ^ _d(r) ^ _offset(c.last_vaddr)),
+]
+
+
+def _build_registry() -> dict[str, ProgramFeature]:
+    registry: dict[str, ProgramFeature] = {}
+    for name, fn in _TABLE_I:
+        registry[name] = ProgramFeature(name, fn, table_i=True)
+    for name, fn in _EXTRA_CORE + _EXPANSION:
+        registry[name] = ProgramFeature(name, fn, table_i=False)
+    return registry
+
+
+#: all program features by name (the full exploration space)
+FEATURES: dict[str, ProgramFeature] = _build_registry()
+
+#: the Table I "best performing" subset, in paper order
+TABLE_I_FEATURES: tuple[str, ...] = tuple(name for name, _ in _TABLE_I)
+
+
+def get_feature(name: str) -> ProgramFeature:
+    """Look a program feature up by its registry name."""
+    try:
+        return FEATURES[name]
+    except KeyError:
+        raise KeyError(f"unknown program feature {name!r}; known: {sorted(FEATURES)}") from None

@@ -1,0 +1,83 @@
+"""Filter introspection: inspect what a Page-Cross Filter has learned.
+
+Microarchitects tuning a MOKA filter need to see inside it: which weights
+carry signal, how busy the update buffers are, where the threshold sits.
+These helpers snapshot a :class:`PerceptronFilter` into plain dicts suitable
+for printing or JSON export.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.filter import PerceptronFilter
+from repro.core.thresholds import AdaptiveThreshold
+
+
+def weight_summary(filter_: PerceptronFilter) -> dict[str, Any]:
+    """Per-feature weight-table statistics."""
+    out: dict[str, Any] = {}
+    for feature, table in zip(filter_.features, filter_.tables):
+        nonzero = [w for w in table.weights if w != 0]
+        out[feature.name] = {
+            "entries": table.size,
+            "nonzero": len(nonzero),
+            "min": min(nonzero) if nonzero else 0,
+            "max": max(nonzero) if nonzero else 0,
+            "saturated_high": sum(1 for w in table.weights if w == table.hi),
+            "saturated_low": sum(1 for w in table.weights if w == table.lo),
+        }
+    for name, counter in filter_.sys_weights.items():
+        out[f"system:{name}"] = {"value": counter.value, "lo": counter.lo, "hi": counter.hi}
+    return out
+
+
+def top_weights(filter_: PerceptronFilter, feature_index: int = 0, n: int = 10) -> list[tuple[int, int]]:
+    """The n strongest (index, weight) entries of one program feature's table."""
+    table = filter_.tables[feature_index]
+    ranked = sorted(enumerate(table.weights), key=lambda iw: -abs(iw[1]))
+    return [(i, w) for i, w in ranked[:n] if w != 0]
+
+
+def filter_state(filter_: PerceptronFilter) -> dict[str, Any]:
+    """One-call snapshot: weights, buffers, threshold, decision counters."""
+    threshold = filter_.threshold
+    state: dict[str, Any] = {
+        "name": filter_.name,
+        "weights": weight_summary(filter_),
+        "vub_occupancy": len(filter_.vub),
+        "pub_occupancy": len(filter_.pub),
+        "predictions": filter_.predictions,
+        "permits": filter_.permits,
+        "permit_rate": filter_.permits / filter_.predictions if filter_.predictions else 0.0,
+        "positive_updates": filter_.positive_updates,
+        "negative_updates": filter_.negative_updates,
+        "threshold": threshold.current,
+        "storage_kib": filter_.storage_kib(),
+    }
+    if isinstance(threshold, AdaptiveThreshold):
+        state["epochs_seen"] = threshold.epochs_seen
+        state["disable_events"] = threshold.disable_events
+    return state
+
+
+def format_filter_state(filter_: PerceptronFilter) -> str:
+    """Human-readable rendering of :func:`filter_state`."""
+    state = filter_state(filter_)
+    lines = [f"filter {state['name']} ({state['storage_kib']:.2f} KiB)"]
+    lines.append(
+        f"  decisions: {state['predictions']} ({100 * state['permit_rate']:.1f}% permitted), "
+        f"training +{state['positive_updates']}/-{state['negative_updates']}, "
+        f"T_a={state['threshold']}"
+    )
+    lines.append(f"  buffers: vUB {state['vub_occupancy']}, pUB {state['pub_occupancy']}")
+    for name, info in state["weights"].items():
+        if name.startswith("system:"):
+            lines.append(f"  {name}: {info['value']} in [{info['lo']}, {info['hi']}]")
+        else:
+            lines.append(
+                f"  {name}: {info['nonzero']}/{info['entries']} nonzero, "
+                f"range [{info['min']}, {info['max']}], "
+                f"saturated {info['saturated_high']}^/{info['saturated_low']}v"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Hashed-perceptron weight storage.
+
+Weights are n-bit signed saturating counters (5-bit, i.e. [-16, 15], per
+Table III), one table per program feature plus one standalone counter per
+system feature.
+"""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """One n-bit signed saturating counter (a system-feature weight)."""
+
+    __slots__ = ("value", "lo", "hi")
+
+    def __init__(self, bits: int = 5, initial: int = 0):
+        self.lo = -(1 << (bits - 1))
+        self.hi = (1 << (bits - 1)) - 1
+        if not self.lo <= initial <= self.hi:
+            raise ValueError(f"initial {initial} outside [{self.lo}, {self.hi}]")
+        self.value = initial
+
+    def increment(self, amount: int = 1) -> None:
+        """Add with saturation at the high bound."""
+        self.value = min(self.hi, self.value + amount)
+
+    def decrement(self, amount: int = 1) -> None:
+        """Subtract with saturation at the low bound."""
+        self.value = max(self.lo, self.value - amount)
+
+
+class WeightTable:
+    """One feature's table of saturating perceptron weights."""
+
+    __slots__ = ("weights", "size", "bits", "lo", "hi", "index_bits")
+
+    def __init__(self, entries: int = 512, bits: int = 5):
+        if entries & (entries - 1):
+            raise ValueError(f"table size must be a power of two, got {entries}")
+        self.size = entries
+        self.bits = bits
+        self.index_bits = entries.bit_length() - 1
+        self.lo = -(1 << (bits - 1))
+        self.hi = (1 << (bits - 1)) - 1
+        self.weights = [0] * entries
+
+    def read(self, index: int) -> int:
+        """Weight currently stored at `index`."""
+        return self.weights[index]
+
+    def train(self, index: int, positive: bool) -> None:
+        """Move the weight one step toward the observed outcome (saturating)."""
+        w = self.weights[index]
+        if positive:
+            if w < self.hi:
+                self.weights[index] = w + 1
+        else:
+            if w > self.lo:
+                self.weights[index] = w - 1
+
+    def storage_bits(self) -> int:
+        """Hardware cost of this table."""
+        return self.size * self.bits

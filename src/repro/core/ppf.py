@@ -1,0 +1,60 @@
+"""PPF comparator (Bhatia et al., ISCA'19) converted to a page-cross filter.
+
+Per Section V-A, the original PPF filters inaccurate L2C prefetches from SPP
+using program features, several of which are SPP-specific (signature, depth).
+The conversion drops the SPP-specific features and keeps the
+prefetcher-independent ones; the result differs from DRIPPER in exactly the
+ways Section VI enumerates:
+
+* program features only — no system features;
+* a static activation threshold (``PPF``); ``PPF+Dthr`` swaps in MOKA's
+  adaptive thresholding for a direct comparison;
+* a generic feature set not selected for page-cross behaviour (in
+  particular, no ``Delta``-based feature).
+"""
+
+from __future__ import annotations
+
+from repro.core.filter import FilterConfig, PerceptronFilter
+from repro.core.thresholds import ThresholdConfig
+
+#: PPF's prefetcher-independent program features after dropping SPP metadata
+#: (originals kept: PC, address, cache-line offset, PC xor-chains, page bits).
+PPF_FEATURES: tuple[str, ...] = (
+    "PC",
+    "VA",
+    "CacheLineOffset",
+    "PC+CacheLineOffset",
+    "PC_i-2^PC_i-1^PC_i",
+    "PC^(VA>>12)",
+)
+
+
+def make_ppf(threshold: int = 0) -> PerceptronFilter:
+    """PPF as a page-cross filter (static threshold)."""
+    config = FilterConfig(
+        program_features=PPF_FEATURES,
+        system_features=(),
+        weight_table_entries=512,
+        weight_bits=5,
+        vub_entries=4,
+        pub_entries=128,
+        adaptive=False,
+        static_threshold=threshold,
+    )
+    return PerceptronFilter(config, name="ppf")
+
+
+def make_ppf_dthr(threshold: ThresholdConfig | None = None) -> PerceptronFilter:
+    """PPF+Dthr: PPF's features with MOKA's adaptive thresholding."""
+    config = FilterConfig(
+        program_features=PPF_FEATURES,
+        system_features=(),
+        weight_table_entries=512,
+        weight_bits=5,
+        vub_entries=4,
+        pub_entries=128,
+        adaptive=True,
+        threshold=threshold or ThresholdConfig(),
+    )
+    return PerceptronFilter(config, name="ppf+dthr")

@@ -1,0 +1,128 @@
+"""Offline feature selection (Section III-D3).
+
+The procedure that produced Table II:
+
+1. evaluate every candidate program and system feature as a single-feature
+   Page-Cross Filter, measuring geomean IPC speedup over Discard PGC across
+   a workload set;
+2. sort features by that speedup;
+3. greedily grow the selected set: a feature joins if it improves geomean
+   IPC by more than ``improvement_threshold`` (0.3% in the paper) over the
+   best configuration so far.
+
+Full-scale selection over 60 features x 218 workloads is expensive; callers
+pass a workload sample (and the bench uses a reduced candidate list).
+Imports of the runner are local to avoid a core <-> experiments cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.filter import FilterConfig, PerceptronFilter
+from repro.core.system_features import SYSTEM_FEATURES
+
+
+@dataclass
+class FeatureScore:
+    """Geomean IPC speedup of one single-feature filter over Discard PGC."""
+
+    name: str
+    is_system: bool
+    speedup: float
+
+
+@dataclass
+class SelectionReport:
+    """Outcome of the greedy selection."""
+
+    prefetcher: str
+    scores: list[FeatureScore] = field(default_factory=list)
+    selected_program: list[str] = field(default_factory=list)
+    selected_system: list[str] = field(default_factory=list)
+    final_speedup: float = 1.0
+
+
+def _make_filter(program: Sequence[str], system: Sequence[str]) -> PerceptronFilter:
+    config = FilterConfig(program_features=tuple(program), system_features=tuple(system))
+    return PerceptronFilter(config, name="selection-candidate")
+
+
+def _evaluate(program, system, workloads, prefetcher, warmup, sim, baselines):
+    from repro.cpu.simulator import SimConfig, simulate
+    from repro.experiments.metrics import geomean_speedup
+
+    results = []
+    for workload in workloads:
+        config = SimConfig(
+            prefetcher=prefetcher,
+            policy_factory=lambda: _make_filter(program, system),
+            warmup_instructions=warmup,
+            sim_instructions=sim,
+        )
+        results.append(simulate(workload, config))
+    return geomean_speedup(results, baselines)
+
+
+def select_features(
+    prefetcher: str,
+    workloads: Sequence,
+    *,
+    program_candidates: Optional[Sequence[str]] = None,
+    system_candidates: Optional[Sequence[str]] = None,
+    improvement_threshold: float = 0.003,
+    warmup_instructions: int = 10_000,
+    sim_instructions: int = 30_000,
+    max_features: int = 4,
+) -> SelectionReport:
+    """Run the greedy feature-selection procedure for one prefetcher."""
+    from repro.core.features import FEATURES
+    from repro.cpu.simulator import SimConfig, simulate
+    from repro.core.policies import DiscardPgc
+
+    if program_candidates is None:
+        program_candidates = sorted(FEATURES)
+    if system_candidates is None:
+        system_candidates = sorted(SYSTEM_FEATURES)
+
+    baselines = []
+    for workload in workloads:
+        config = SimConfig(
+            prefetcher=prefetcher,
+            policy_factory=DiscardPgc,
+            warmup_instructions=warmup_instructions,
+            sim_instructions=sim_instructions,
+        )
+        baselines.append(simulate(workload, config))
+
+    report = SelectionReport(prefetcher=prefetcher)
+    for name in program_candidates:
+        speedup = _evaluate([name], [], workloads, prefetcher, warmup_instructions, sim_instructions, baselines)
+        report.scores.append(FeatureScore(name, False, speedup))
+    for name in system_candidates:
+        speedup = _evaluate([], [name], workloads, prefetcher, warmup_instructions, sim_instructions, baselines)
+        report.scores.append(FeatureScore(name, True, speedup))
+
+    report.scores.sort(key=lambda s: -s.speedup)
+    best_speedup = 1.0
+    for score in report.scores:
+        if len(report.selected_program) + len(report.selected_system) >= max_features:
+            break
+        trial_program = report.selected_program + ([score.name] if not score.is_system else [])
+        trial_system = report.selected_system + ([score.name] if score.is_system else [])
+        if not trial_program and not trial_system:
+            continue
+        speedup = _evaluate(
+            trial_program, trial_system, workloads, prefetcher,
+            warmup_instructions, sim_instructions, baselines,
+        )
+        if speedup > best_speedup * (1.0 + improvement_threshold) or not (
+            report.selected_program or report.selected_system
+        ):
+            if speedup > best_speedup or not (report.selected_program or report.selected_system):
+                report.selected_program = trial_program
+                report.selected_system = trial_system
+                best_speedup = speedup
+    report.final_speedup = best_speedup
+    return report

@@ -1,0 +1,52 @@
+"""Prefetcher-specialized program features (the paper's extension hook).
+
+Section III-D1: "Crafting specialized features that exploit metadata of
+specific prefetchers (e.g., lookahead) has the potential to further improve
+the effectiveness of a Page-Cross Filter."  MOKA's shipped features are
+deliberately prefetcher-independent; this module implements the extension
+for prefetchers that attach metadata to their requests.
+
+A prefetcher opts in by setting ``request.meta`` (e.g. the degree index of
+the request within a burst, or SPP-style lookahead depth).  Specialized
+features read that metadata and fall back to 0 when absent, so a filter
+using them still works with any prefetcher.  Pass the feature *objects* to
+``FilterConfig.program_features`` — they deliberately live outside the
+prefetcher-independent registry::
+
+    config = FilterConfig(program_features=(
+        "Delta", SPECIALIZED_FEATURES["Delta+DegreeIndex"],
+    ))
+"""
+
+from __future__ import annotations
+
+from repro.core.context import FeatureContext, PrefetchRequest
+from repro.core.features import ProgramFeature
+
+
+def _meta(req: PrefetchRequest) -> int:
+    return getattr(req, "meta", 0) or 0
+
+
+def _d(req: PrefetchRequest) -> int:
+    return req.delta & 0xFFF
+
+
+SPECIALIZED_FEATURES: dict[str, ProgramFeature] = {
+    feature.name: feature
+    for feature in (
+        # degree index / lookahead depth of the request within its burst:
+        # deeper requests are more speculative, so the filter can learn a
+        # stricter posture for them
+        ProgramFeature("DegreeIndex", lambda r, c: _meta(r)),
+        ProgramFeature("Delta+DegreeIndex", lambda r, c: _d(r) + (_meta(r) << 8)),
+        ProgramFeature("PC^DegreeIndex", lambda r, c: r.pc ^ (_meta(r) << 4)),
+    )
+}
+
+
+def attach_degree_metadata(requests: list[PrefetchRequest]) -> list[PrefetchRequest]:
+    """Tag each request in a burst with its position (1-based degree index)."""
+    for index, req in enumerate(requests, start=1):
+        req.meta = index
+    return requests

@@ -1,0 +1,53 @@
+"""Runtime system-state view consumed by system features and thresholding.
+
+The simulator refreshes a :class:`SystemState` once per epoch with the
+previous epoch's rates (hardware would sample counters the same way) and
+keeps a couple of live fields (in-flight misses, ROB pressure) current.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EpochStats:
+    """Statistics gathered over one finished epoch (Figure 8, step 1)."""
+
+    instructions: int = 0
+    cycles: float = 0.0
+    ipc: float = 0.0
+    pgc_useful: int = 0
+    pgc_useless: int = 0
+    llc_miss_rate: float = 0.0
+    llc_mpki: float = 0.0
+    l1i_mpki: float = 0.0
+    rob_stall_fraction: float = 0.0
+
+    @property
+    def pgc_accuracy(self) -> float:
+        """Accuracy of page-cross prefetching during the epoch.
+
+        Defined only when the epoch issued page-cross prefetches; epochs
+        without any are reported as perfectly accurate (nothing to punish).
+        """
+        total = self.pgc_useful + self.pgc_useless
+        return self.pgc_useful / total if total else 1.0
+
+
+@dataclass
+class SystemState:
+    """Previous-epoch rates plus live pressure signals."""
+
+    l1d_mpki: float = 0.0
+    l1d_miss_rate: float = 0.0
+    llc_mpki: float = 0.0
+    llc_miss_rate: float = 0.0
+    stlb_mpki: float = 0.0
+    stlb_miss_rate: float = 0.0
+    l1i_mpki: float = 0.0
+    ipc: float = 0.0
+    # live signals
+    l1d_inflight_misses: int = 0
+    rob_stall_fraction: float = 0.0
+    last_epoch: EpochStats = field(default_factory=EpochStats)

@@ -1,0 +1,147 @@
+"""Activation-threshold policies (Section III-C3, Figure 8).
+
+The filter issues a page-cross prefetch when the cumulative weight exceeds
+the activation threshold ``T_a``.  :class:`StaticThreshold` keeps ``T_a``
+fixed (what PPF does); :class:`AdaptiveThreshold` implements MOKA's
+epoch-based scheme: in-epoch *extreme behaviour* overrides plus end-of-epoch
+adjustment from page-cross accuracy and IPC movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.system_state import EpochStats, SystemState
+
+#: effective threshold meaning "page-cross prefetching disabled this phase"
+DISABLE = 10**9
+
+
+@dataclass(frozen=True)
+class ThresholdConfig:
+    """Tunables of the adaptive scheme (names follow Figure 8)."""
+
+    # the ladder spans the cumulative-weight range (one saturated 5-bit
+    # program weight plus two gated system weights reaches +/-45), so t_high
+    # keeps real discriminating power during low-accuracy phases
+    t_low: int = -8
+    t_medium: int = 8
+    t_high: int = 24
+    t_default: int = 0
+    #: accuracy below which T_a is forced high (T1) / medium (T2)
+    accuracy_low: float = 0.25
+    accuracy_medium: float = 0.50
+    #: L1I pressure above which T_a is raised to at least t_medium
+    l1i_mpki_high: float = 5.0
+    #: "very high LLC pressure" -> disable page-cross prefetching this phase
+    llc_missrate_disable: float = 0.85
+    llc_mpki_disable: float = 60.0
+    #: "high ROB pressure and many in-flight L1D misses" -> t_high on the spot.
+    #: The bars mark genuinely extreme phases (near-saturated MSHRs while the
+    #: ROB is blocked most of the time), not the steady state of every
+    #: miss-heavy workload.
+    rob_stall_high: float = 0.85
+    inflight_misses_high: int = 15
+    #: relative IPC drop between epochs that forces at least t_medium
+    ipc_drop_fraction: float = 0.05
+    #: step by which T_a relaxes toward t_default after an accurate epoch
+    #: (scales the paper's +/-1 rule to this ladder's wider range)
+    relax_step: int = 4
+
+
+class StaticThreshold:
+    """Fixed activation threshold (PPF-style)."""
+
+    def __init__(self, value: int = 0):
+        self.value = value
+
+    @property
+    def current(self) -> int:
+        """The fixed threshold."""
+        return self.value
+
+    def effective(self, state: SystemState) -> int:
+        """Static: the system state never changes the threshold."""
+        return self.value
+
+    def on_epoch_end(self, epoch: EpochStats) -> None:
+        """Static thresholds ignore epoch feedback."""
+
+
+class AdaptiveThreshold:
+    """MOKA's epoch-based adaptive thresholding scheme."""
+
+    def __init__(self, config: ThresholdConfig | None = None):
+        self.config = config or ThresholdConfig()
+        self._ta = self.config.t_default
+        self._prev_accuracy: float | None = None
+        self._prev_ipc: float | None = None
+        self.epochs_seen = 0
+        self.disable_events = 0
+
+    @property
+    def current(self) -> int:
+        """The base T_a (before in-epoch overrides)."""
+        return self._ta
+
+    def effective(self, state: SystemState) -> int:
+        """T_a used for this decision, after extreme-behaviour overrides."""
+        cfg = self.config
+        # very high LLC pressure while page-cross prefetching is not proving
+        # itself: stop crossing pages for the phase; vUB training re-enables
+        # it once false negatives start showing up.
+        if (
+            state.llc_miss_rate > cfg.llc_missrate_disable
+            and state.llc_mpki > cfg.llc_mpki_disable
+            and state.last_epoch.pgc_accuracy < cfg.accuracy_low
+        ):
+            self.disable_events += 1
+            return DISABLE
+        ta = self._ta
+        # high ROB pressure + many in-flight L1D misses: only very confident
+        # page-cross prefetches may add traffic.
+        if (
+            state.rob_stall_fraction > cfg.rob_stall_high
+            and state.l1d_inflight_misses > cfg.inflight_misses_high
+        ):
+            ta = max(ta, cfg.t_high)
+        # low page-cross accuracy so far: be very strict.
+        if state.last_epoch.pgc_accuracy < cfg.accuracy_low:
+            ta = max(ta, cfg.t_high)
+        # high L1I pressure: avoid contending with demand instruction
+        # accesses in the L2C.
+        if state.l1i_mpki > cfg.l1i_mpki_high:
+            ta = max(ta, cfg.t_medium)
+        return ta
+
+    def on_epoch_end(self, epoch: EpochStats) -> None:
+        """End-of-epoch adjustment (Figure 8, steps 2-4)."""
+        cfg = self.config
+        self.epochs_seen += 1
+        accuracy = epoch.pgc_accuracy
+        if accuracy < cfg.accuracy_low:
+            self._ta = cfg.t_high
+        elif accuracy < cfg.accuracy_medium:
+            self._ta = max(self._ta, cfg.t_medium)
+        elif self._ta > cfg.t_default:
+            # sustained accuracy: relax the strict posture left over from an
+            # earlier inaccurate phase
+            self._ta = max(cfg.t_default, self._ta - cfg.relax_step)
+        if self._prev_accuracy is not None:
+            if accuracy > self._prev_accuracy:
+                self._ta += 1
+            elif accuracy < self._prev_accuracy:
+                self._ta -= 1
+        # The IPC-drop rule is gated on page-cross accuracy: in multi-core
+        # mixes, inter-core interference makes epoch IPC noisy (drops on a
+        # third of epochs), and blaming accurate page-cross prefetching for
+        # them would throttle the filter into uselessness.
+        if (
+            self._prev_ipc is not None
+            and epoch.ipc < self._prev_ipc * (1.0 - cfg.ipc_drop_fraction)
+            and accuracy < cfg.accuracy_medium
+        ):
+            self._ta = max(self._ta, cfg.t_medium)
+        self._ta = max(cfg.t_low, min(cfg.t_high, self._ta))
+        self._prev_accuracy = accuracy
+        self._prev_ipc = epoch.ipc

@@ -1,0 +1,60 @@
+"""Virtual and Physical Update Buffers (Section III-B).
+
+Both buffers remember, per pending decision, the exact weight-table indexes
+and the set of then-active system features, so that the later training event
+updates precisely the weights that produced the decision (Figure 7).
+
+* **vUB** (4 entries, virtual line addresses): decisions to *discard*.  A
+  subsequent demand L1D miss matching a vUB entry is a false negative →
+  positive training.
+* **pUB** (128 entries, physical line addresses): decisions to *issue*.  A
+  demand hit on the prefetched block → positive training; eviction of the
+  never-hit block → negative training.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TrainingRecord:
+    """Weight-table indexes + active system features captured at decision time."""
+
+    program_indexes: tuple[int, ...]
+    system_features: tuple[str, ...]
+
+
+class UpdateBuffer:
+    """Fixed-capacity FIFO keyed by (virtual or physical) line address."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[int, TrainingRecord] = OrderedDict()
+
+    def insert(self, line: int, record: TrainingRecord) -> None:
+        """Remember a decision's training state (refreshes on re-insert)."""
+        if line in self._entries:
+            self._entries.move_to_end(line)
+            self._entries[line] = record
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[line] = record
+
+    def pop(self, line: int) -> TrainingRecord | None:
+        """Remove and return the record for `line` (None on miss)."""
+        return self._entries.pop(line, None)
+
+    def peek(self, line: int) -> TrainingRecord | None:
+        """Read without removing."""
+        return self._entries.get(line)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._entries

@@ -1,0 +1,16 @@
+"""CPU substrate: out-of-order core model and simulation drivers."""
+
+from repro.cpu.core import CoreEngine
+from repro.cpu.multicore import MixResult, isolation_ipc, simulate_mix
+from repro.cpu.simulator import SimConfig, SimResult, build_engine, simulate
+
+__all__ = [
+    "CoreEngine",
+    "MixResult",
+    "isolation_ipc",
+    "simulate_mix",
+    "SimConfig",
+    "SimResult",
+    "build_engine",
+    "simulate",
+]

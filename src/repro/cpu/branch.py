@@ -1,0 +1,92 @@
+"""Hashed perceptron branch predictor (Table IV; Jimenez/Tarjan-Skadron).
+
+Direction prediction only: several weight tables, each indexed by a hash of
+the branch PC with a different-length slice of global history, plus a bias
+table.  The prediction is the sign of the summed weights; training follows
+the perceptron rule (update on mispredict or when the sum's magnitude is
+below the threshold), with global history updated speculatively-correct
+(trace-driven, so the outcome is known at predict time).
+"""
+
+from __future__ import annotations
+
+#: global-history slice lengths per table (geometric, GEHL-style)
+DEFAULT_HISTORY_LENGTHS = (0, 4, 8, 16, 32)
+
+
+class HashedPerceptronBranchPredictor:
+    """Direction predictor with hashed-perceptron weight tables."""
+
+    def __init__(
+        self,
+        table_entries: int = 1024,
+        weight_bits: int = 6,
+        history_lengths: tuple[int, ...] = DEFAULT_HISTORY_LENGTHS,
+        threshold: int | None = None,
+    ):
+        if table_entries & (table_entries - 1):
+            raise ValueError(f"table size must be a power of two, got {table_entries}")
+        self.table_entries = table_entries
+        self.index_mask = table_entries - 1
+        self.history_lengths = history_lengths
+        self.weight_lo = -(1 << (weight_bits - 1))
+        self.weight_hi = (1 << (weight_bits - 1)) - 1
+        # classic perceptron training threshold: 1.93*h + 14 (Jimenez)
+        self.threshold = threshold if threshold is not None else int(1.93 * max(history_lengths) + 14)
+        self.tables = [[0] * table_entries for _ in history_lengths]
+        self.ghr = 0
+        self.predictions = 0
+        self.mispredictions = 0
+        self._snap = (0, 0)
+
+    def _indexes(self, pc: int) -> list[int]:
+        indexes = []
+        for length in self.history_lengths:
+            history = self.ghr & ((1 << length) - 1) if length else 0
+            h = pc ^ (history * 0x9E3779B1)
+            h ^= h >> 13
+            indexes.append(h & self.index_mask)
+        return indexes
+
+    def predict_and_train(self, pc: int, taken: bool) -> bool:
+        """Predict the branch at `pc`, train on the true outcome, update GHR.
+
+        Returns True when the prediction was correct.
+        """
+        self.predictions += 1
+        indexes = self._indexes(pc)
+        total = sum(table[i] for table, i in zip(self.tables, indexes))
+        predicted_taken = total >= 0
+        correct = predicted_taken == taken
+        if not correct:
+            self.mispredictions += 1
+        if not correct or abs(total) <= self.threshold:
+            if taken:
+                for table, i in zip(self.tables, indexes):
+                    if table[i] < self.weight_hi:
+                        table[i] += 1
+            else:
+                for table, i in zip(self.tables, indexes):
+                    if table[i] > self.weight_lo:
+                        table[i] -= 1
+        self.ghr = ((self.ghr << 1) | int(taken)) & 0xFFFFFFFFFFFFFFFF
+        return correct
+
+    @property
+    def mispredict_rate(self) -> float:
+        """Lifetime misprediction rate."""
+        return self.mispredictions / self.predictions if self.predictions else 0.0
+
+    def snapshot(self) -> None:
+        """Mark the warm-up boundary for prediction counters."""
+        self._snap = (self.predictions, self.mispredictions)
+
+    @property
+    def measured_predictions(self) -> int:
+        """Predictions since the warm-up snapshot."""
+        return self.predictions - self._snap[0]
+
+    @property
+    def measured_mispredictions(self) -> int:
+        """Mispredictions since the warm-up snapshot."""
+        return self.mispredictions - self._snap[1]

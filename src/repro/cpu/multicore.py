@@ -1,0 +1,100 @@
+"""Multi-core (8-core) mix simulation (Section IV-A2).
+
+Each core runs its own workload on private L1I/L1D/L2C/TLBs while sharing
+the LLC and DRAM, so useless page-cross traffic from one core steals shared
+bandwidth and LLC capacity from the others.  Cores are stepped in timestamp
+order (a min-heap on each core's retire clock) so shared-resource contention
+is time-coherent.
+
+Methodology follows the paper: when a core finishes its instruction budget
+its IPC is recorded and the core *replays its trace* until every core has
+finished, keeping pressure on the shared resources.  Reported metric is the
+weighted speedup: sum over cores of IPC_multicore / IPC_isolation, normalised
+against the baseline configuration's weighted IPC.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.cpu.simulator import SimConfig, SimResult, build_engine, collect_result, simulate
+from repro.mem.cache import Cache
+from repro.mem.dram import Dram
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+@dataclass
+class MixResult:
+    """Per-core results of one multi-core mix run."""
+
+    results: list[SimResult]
+
+    @property
+    def ipcs(self) -> list[float]:
+        """Per-core measured IPCs, in workload order."""
+        return [r.ipc for r in self.results]
+
+    def weighted_ipc(self, isolation_ipcs: Sequence[float]) -> float:
+        """Sum over cores of IPC_multicore / IPC_isolation."""
+        if len(isolation_ipcs) != len(self.results):
+            raise ValueError("isolation IPC count does not match core count")
+        return sum(r.ipc / iso for r, iso in zip(self.results, isolation_ipcs))
+
+
+def simulate_mix(workloads: Sequence[SyntheticWorkload], config: SimConfig) -> MixResult:
+    """Run one mix: len(workloads) cores sharing LLC + DRAM."""
+    cores = len(workloads)
+    params = config.params.scaled_llc(cores)
+    dram = Dram(params.dram)
+    llc = Cache(params.llc, writeback=dram.write)
+    engines = []
+    budgets = []
+    for i, workload in enumerate(workloads):
+        core_config = replace(config, params=params, asid=i)
+        engines.append(build_engine(core_config, shared_llc=llc, shared_dram=dram))
+        warmup, sim = config.warmup_instructions, config.sim_instructions
+        if workload.suite.startswith("QMM"):
+            warmup, sim = warmup // 2, sim // 2
+        budgets.append((warmup, warmup + sim))
+    iterators = [iter(w.generate()) for w in workloads]
+    measuring = [False] * cores
+    finished: list[SimResult | None] = [None] * cores
+    remaining = cores
+    # Min-heap on each core's retire clock: the core furthest behind in time
+    # steps next, so shared-resource contention is time-coherent and finished
+    # (replaying) cores are automatically paced — they only step when the
+    # unfinished cores have caught up to them.
+    heap = [(0.0, i) for i in range(cores)]
+    heapq.heapify(heap)
+    while remaining:
+        _, i = heapq.heappop(heap)
+        engine = engines[i]
+        try:
+            record = next(iterators[i])
+        except StopIteration:  # pragma: no cover - traces are infinite
+            iterators[i] = iter(workloads[i].generate())
+            record = next(iterators[i])
+        engine.step(*record)
+        warm_limit, total_limit = budgets[i]
+        if not measuring[i] and engine.instructions >= warm_limit:
+            engine.begin_measurement()
+            measuring[i] = True
+        if finished[i] is None and engine.instructions >= total_limit:
+            finished[i] = collect_result(engine, workloads[i].name, config)
+            remaining -= 1
+            # replay: the core keeps running to stress shared resources
+            iterators[i] = iter(workloads[i].generate())
+        if remaining:
+            heapq.heappush(heap, (engine.retire_t, i))
+    return MixResult([r for r in finished if r is not None])
+
+
+def isolation_ipc(workload: SyntheticWorkload, config: SimConfig, cores: int) -> float:
+    """IPC of `workload` alone on the multi-core configuration."""
+    iso_config = replace(config, params=config.params.scaled_llc(cores))
+    warmup, sim = config.warmup_instructions, config.sim_instructions
+    if workload.suite.startswith("QMM"):
+        iso_config = replace(iso_config, warmup_instructions=warmup // 2, sim_instructions=sim // 2)
+    return simulate(workload, iso_config).ipc

@@ -1,0 +1,241 @@
+"""Single-core simulation driver.
+
+Assembles a full system (core engine + hierarchy + virtual memory + chosen
+prefetcher and page-cross policy), runs a workload for warm-up + measured
+instructions, and returns a :class:`SimResult` with everything the paper's
+figures report: IPC, MPKIs, prefetch coverage/accuracy, and page-cross
+usefulness counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.policies import DiscardPgc, PageCrossPolicy
+from repro.cpu.core import CoreEngine
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.params import DEFAULT_PARAMS, SystemParams
+from repro.prefetch import make_l1d_prefetcher, make_l2_prefetcher
+from repro.prefetch.base import L1dPrefetcher
+from repro.prefetch.l2_adapters import L2Prefetcher
+from repro.vm.page_table import LargePagePolicy, PageTable
+from repro.vm.psc import SplitPsc
+from repro.vm.tlb import Tlb
+from repro.vm.walker import PageWalker
+from repro.workloads.trace import Workload
+
+#: builds a fresh policy per run (policies are stateful and must not be shared)
+PolicyFactory = Callable[[], PageCrossPolicy]
+
+
+@dataclass
+class SimConfig:
+    """One simulation's knobs."""
+
+    prefetcher: str = "berti"
+    policy_factory: PolicyFactory = DiscardPgc
+    l2_prefetcher: str = "none"
+    warmup_instructions: int = 20_000
+    sim_instructions: int = 60_000
+    params: SystemParams = field(default_factory=lambda: DEFAULT_PARAMS)
+    large_page_fraction: float = 0.0
+    epoch_instructions: int = 2048
+    prefetcher_extra_storage: int = 0
+    asid: int = 0
+
+
+@dataclass
+class SimResult:
+    """Measured-region statistics of one run."""
+
+    workload: str
+    prefetcher: str
+    policy: str
+    instructions: int
+    cycles: float
+    ipc: float
+    # MPKIs (demand)
+    dtlb_mpki: float
+    itlb_mpki: float
+    stlb_mpki: float
+    l1i_mpki: float
+    l1d_mpki: float
+    l2c_mpki: float
+    llc_mpki: float
+    # miss rates (demand)
+    l1d_miss_rate: float
+    llc_miss_rate: float
+    stlb_miss_rate: float
+    # prefetching (all L1D prefetches)
+    prefetch_fills: int
+    prefetch_useful: int
+    prefetch_useless: int
+    prefetch_late: int
+    # page-cross prefetching
+    pgc_candidates: int
+    pgc_issued: int
+    pgc_discarded: int
+    pgc_useful: int
+    pgc_useless: int
+    # virtual memory activity
+    demand_walks: int
+    speculative_walks: int
+    tlb_prefetch_hits: int
+    # DRAM traffic
+    dram_reads: int
+    dram_writes: int
+    # branch prediction (hashed perceptron predictor of Table IV)
+    branches: int = 0
+    branch_mispredicts: int = 0
+
+    @property
+    def branch_mpki(self) -> float:
+        """Branch mispredictions per kilo-instruction (measured region)."""
+        return 1000.0 * self.branch_mispredicts / self.instructions if self.instructions else 0.0
+
+    @property
+    def branch_mispredict_rate(self) -> float:
+        """Fraction of predicted branches that mispredicted."""
+        return self.branch_mispredicts / self.branches if self.branches else 0.0
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of issued prefetches that served at least one demand hit."""
+        done = self.prefetch_useful + self.prefetch_useless
+        return self.prefetch_useful / done if done else 0.0
+
+    @property
+    def prefetch_coverage(self) -> float:
+        """Fraction of would-be demand misses covered by prefetching."""
+        would_be = self.prefetch_useful + self._measured_l1d_misses
+        return self.prefetch_useful / would_be if would_be else 0.0
+
+    @property
+    def pgc_accuracy(self) -> float:
+        """Useful fraction of resolved page-cross prefetches."""
+        done = self.pgc_useful + self.pgc_useless
+        return self.pgc_useful / done if done else 0.0
+
+    @property
+    def pgc_useful_pki(self) -> float:
+        """Useful page-cross prefetches per kilo-instruction (Figure 13)."""
+        return 1000.0 * self.pgc_useful / self.instructions if self.instructions else 0.0
+
+    @property
+    def pgc_useless_pki(self) -> float:
+        """Useless page-cross prefetches per kilo-instruction (Figure 13)."""
+        return 1000.0 * self.pgc_useless / self.instructions if self.instructions else 0.0
+
+    @property
+    def _measured_l1d_misses(self) -> int:
+        return int(round(self.l1d_mpki * self.instructions / 1000.0))
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """IPC speedup of this run over a baseline run of the same workload."""
+        if baseline.workload != self.workload:
+            raise ValueError(
+                f"speedup_over compares runs of the same workload; got {self.workload!r} vs {baseline.workload!r}"
+            )
+        return self.ipc / baseline.ipc if baseline.ipc else 0.0
+
+
+def build_engine(config: SimConfig, *, shared_llc=None, shared_dram=None,
+                 prefetcher: Optional[L1dPrefetcher] = None,
+                 l2_prefetcher: Optional[L2Prefetcher] = None) -> CoreEngine:
+    """Construct a fully wired core engine from a :class:`SimConfig`."""
+    params = config.params
+    hierarchy = MemoryHierarchy(params, shared_llc=shared_llc, shared_dram=shared_dram)
+    large = LargePagePolicy(config.large_page_fraction, seed=7)
+    page_table = PageTable(asid=config.asid, large_pages=large)
+    psc = SplitPsc(params.psc)
+    walker = PageWalker(page_table, psc, hierarchy.ptw_read)
+    dtlb = Tlb(params.dtlb)
+    itlb = Tlb(params.itlb)
+    stlb = Tlb(params.stlb)
+    if prefetcher is None:
+        prefetcher = make_l1d_prefetcher(
+            config.prefetcher, extra_storage_bytes=config.prefetcher_extra_storage
+        )
+    if l2_prefetcher is None and config.l2_prefetcher not in ("none", "no-l2"):
+        l2_prefetcher = make_l2_prefetcher(config.l2_prefetcher)
+    policy = config.policy_factory()
+    return CoreEngine(
+        params,
+        hierarchy,
+        page_table,
+        walker,
+        dtlb,
+        itlb,
+        stlb,
+        prefetcher,
+        policy,
+        l2_prefetcher=l2_prefetcher,
+        epoch_instructions=config.epoch_instructions,
+    )
+
+
+def collect_result(engine: CoreEngine, workload_name: str, config: SimConfig) -> SimResult:
+    """Assemble a :class:`SimResult` from a finished engine."""
+    engine.hierarchy.finalize()
+    instructions = engine.measured_instructions
+    cycles = engine.measured_cycles
+    h = engine.hierarchy
+    pf = h.l1d.measured_prefetch
+    pgc = engine.pgc.measured()
+    return SimResult(
+        workload=workload_name,
+        prefetcher=engine.prefetcher.name,
+        policy=engine.policy.name,
+        instructions=instructions,
+        cycles=cycles,
+        ipc=instructions / cycles if cycles > 0 else 0.0,
+        dtlb_mpki=engine.dtlb.stats.mpki(instructions),
+        itlb_mpki=engine.itlb.stats.mpki(instructions),
+        stlb_mpki=engine.stlb.stats.mpki(instructions),
+        l1i_mpki=h.l1i.demand_stats.mpki(instructions),
+        l1d_mpki=h.l1d.demand_stats.mpki(instructions),
+        l2c_mpki=h.l2c.demand_stats.mpki(instructions),
+        llc_mpki=h.llc_core_stats.mpki(instructions),
+        l1d_miss_rate=h.l1d.demand_stats.miss_rate,
+        llc_miss_rate=h.llc_core_stats.miss_rate,
+        stlb_miss_rate=engine.stlb.stats.miss_rate,
+        prefetch_fills=pf["fills"],
+        prefetch_useful=pf["useful"],
+        prefetch_useless=pf["useless"],
+        prefetch_late=pf["late"],
+        pgc_candidates=pgc["candidates"],
+        pgc_issued=pgc["issued"],
+        pgc_discarded=pgc["discarded"],
+        pgc_useful=pf["pgc_useful"],
+        pgc_useless=pf["pgc_useless"],
+        demand_walks=engine.walker.measured_demand_walks,
+        speculative_walks=engine.walker.measured_speculative_walks,
+        tlb_prefetch_hits=engine.stlb.prefetch_hits + engine.dtlb.prefetch_hits,
+        dram_reads=h.dram.measured_reads,
+        dram_writes=h.dram.measured_writes,
+        branches=engine.branch_predictor.measured_predictions,
+        branch_mispredicts=engine.branch_predictor.measured_mispredictions,
+    )
+
+
+def simulate(workload: Workload, config: SimConfig) -> SimResult:
+    """Run one workload under one configuration (warm-up + measured region)."""
+    engine = build_engine(config)
+    warm_limit = config.warmup_instructions
+    total_limit = warm_limit + config.sim_instructions
+    step = engine.step
+    measuring = False
+    for pc, vaddr, flags, gap in workload.generate():
+        step(pc, vaddr, flags, gap)
+        if not measuring and engine.instructions >= warm_limit:
+            engine.begin_measurement()
+            measuring = True
+        if engine.instructions >= total_limit:
+            break
+    if not measuring:
+        raise ValueError(
+            f"workload {workload.name!r} ended after {engine.instructions} instructions, "
+            f"before the {warm_limit}-instruction warm-up completed"
+        )
+    return collect_result(engine, workload.name, config)

@@ -1,0 +1,76 @@
+"""First-order dynamic-energy accounting.
+
+Section II-A motivates filtering partly by energy: a useless page-cross
+prefetch burns up to five memory accesses' worth of dynamic energy (the
+speculative walk's PTE reads plus the prefetch fill) and the TLB/cache
+insertions that follow.  This module turns a :class:`SimResult`'s activity
+counters into an energy estimate using per-event costs from published
+CACTI-class numbers (22nm, rounded; absolute joules are indicative only —
+the *relative* comparison between policies is the point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.simulator import SimResult
+
+#: per-event dynamic energy, picojoules (order-of-magnitude CACTI values)
+DEFAULT_COSTS_PJ = {
+    "l1_access": 10.0,
+    "l2_access": 30.0,
+    "llc_access": 100.0,
+    "tlb_access": 2.0,
+    "page_walk_read": 30.0,   # PTE read, mostly L2/LLC-hit
+    "dram_read": 2000.0,
+    "dram_write": 2000.0,
+}
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy breakdown for one run (picojoules)."""
+
+    demand_pj: float
+    prefetch_pj: float
+    speculative_walk_pj: float
+    dram_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        """Sum of all components."""
+        return self.demand_pj + self.prefetch_pj + self.speculative_walk_pj + self.dram_pj
+
+    def per_kilo_instruction(self, instructions: int) -> float:
+        """nJ per kilo-instruction — the comparable efficiency figure."""
+        return self.total_pj / 1000.0 * 1000.0 / instructions if instructions else 0.0
+
+
+def estimate_energy(result: SimResult, costs: dict | None = None) -> EnergyEstimate:
+    """Estimate the dynamic energy behind a run's activity counters."""
+    c = DEFAULT_COSTS_PJ if costs is None else {**DEFAULT_COSTS_PJ, **costs}
+    memory_ops = result.instructions * (
+        (result.l1d_mpki + result.l1i_mpki) / 1000.0 + 0.3  # ~30% memory-op density
+    )
+    demand = memory_ops * (c["l1_access"] + c["tlb_access"])
+    demand += result.instructions / 1000.0 * result.l1d_mpki * c["l2_access"]
+    demand += result.instructions / 1000.0 * result.l2c_mpki * c["llc_access"]
+    demand += result.demand_walks * 3 * c["page_walk_read"]
+
+    prefetch = result.prefetch_fills * (c["l1_access"] + c["l2_access"])
+    speculative = result.speculative_walks * 4 * c["page_walk_read"]
+    speculative += result.pgc_issued * c["tlb_access"]
+
+    dram = result.dram_reads * c["dram_read"] + result.dram_writes * c["dram_write"]
+    return EnergyEstimate(demand, prefetch, speculative, dram)
+
+
+def energy_per_ki(result: SimResult, costs: dict | None = None) -> float:
+    """Convenience: nJ per kilo-instruction for one run."""
+    return estimate_energy(result, costs).per_kilo_instruction(result.instructions)
+
+
+def energy_delay_product(result: SimResult, costs: dict | None = None) -> float:
+    """EDP proxy: (nJ/KI) x (cycles per instruction).  Lower is better."""
+    cpi = result.cycles / result.instructions if result.instructions else 0.0
+    return energy_per_ki(result, costs) * cpi

@@ -1,0 +1,63 @@
+"""Result export: CSV / JSON dumps of simulation results.
+
+``SimResult`` is a flat dataclass, so exports are mechanical; derived
+metrics (accuracy, coverage, PKI rates) are materialised as columns so the
+files are self-contained for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.cpu.simulator import SimResult
+
+#: derived properties appended to every export row
+_DERIVED = (
+    "prefetch_accuracy",
+    "prefetch_coverage",
+    "pgc_accuracy",
+    "pgc_useful_pki",
+    "pgc_useless_pki",
+    "branch_mpki",
+    "branch_mispredict_rate",
+)
+
+
+def result_to_dict(result: SimResult) -> dict:
+    """Flatten a result (fields + derived metrics) into one dict."""
+    row = dataclasses.asdict(result)
+    for name in _DERIVED:
+        row[name] = getattr(result, name)
+    return row
+
+
+def write_csv(results: Sequence[SimResult], path: str | Path) -> Path:
+    """Write results as CSV; returns the path written."""
+    if not results:
+        raise ValueError("nothing to export")
+    path = Path(path)
+    rows = [result_to_dict(r) for r in results]
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_json(results: Iterable[SimResult], path: str | Path, *, indent: int = 2) -> Path:
+    """Write results as a JSON array; returns the path written."""
+    path = Path(path)
+    rows = [result_to_dict(r) for r in results]
+    if not rows:
+        raise ValueError("nothing to export")
+    path.write_text(json.dumps(rows, indent=indent) + "\n")
+    return path
+
+
+def read_json(path: str | Path) -> list[dict]:
+    """Load a previously exported JSON result file."""
+    return json.loads(Path(path).read_text())

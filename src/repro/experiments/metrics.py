@@ -1,0 +1,45 @@
+"""Aggregate metrics used across the evaluation (geomean speedups etc.)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.cpu.simulator import SimResult
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; raises on empty input or non-positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"geomean requires positive values, got {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def geomean_speedup(results: Sequence[SimResult], baselines: Sequence[SimResult]) -> float:
+    """Geometric-mean IPC speedup of `results` over per-workload `baselines`."""
+    if len(results) != len(baselines):
+        raise ValueError(f"{len(results)} results vs {len(baselines)} baselines")
+    return geomean([r.speedup_over(b) for r, b in zip(results, baselines)])
+
+
+def speedup_percent(speedup: float) -> float:
+    """Convert a speedup ratio to the +x.x% form the paper reports."""
+    return 100.0 * (speedup - 1.0)
+
+
+def average(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 on empty input)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def weighted_speedup(multicore_ipcs: Sequence[float], isolation_ipcs: Sequence[float]) -> float:
+    """Multi-core weighted speedup (Section IV-A2): sum of IPC_mc / IPC_iso."""
+    if len(multicore_ipcs) != len(isolation_ipcs):
+        raise ValueError("core count mismatch")
+    if any(iso <= 0 for iso in isolation_ipcs):
+        raise ValueError("isolation IPCs must be positive")
+    return sum(mc / iso for mc, iso in zip(multicore_ipcs, isolation_ipcs))

@@ -1,0 +1,47 @@
+"""Plain-text rendering of experiment outputs (the rows the paper reports)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render an aligned text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_pct(value: float) -> str:
+    """Render a percentage with an explicit sign (the paper's style)."""
+    return f"{value:+.2f}%"
+
+
+def format_scheme_comparison(data: Mapping[str, Mapping[str, float]], title: str) -> str:
+    """Render a {prefetcher: {policy: pct}} mapping (Figure 9 shape)."""
+    policies = sorted({p for row in data.values() for p in row})
+    rows = [
+        [prefetcher] + [format_pct(data[prefetcher].get(p, float("nan"))) for p in policies]
+        for prefetcher in data
+    ]
+    return format_table(["prefetcher", *policies], rows, title)
+
+
+def format_distribution(values: Sequence[float], buckets: int = 10) -> str:
+    """Compact text sparkline of a sorted distribution (min/median/max + deciles)."""
+    if not values:
+        return "(no data)"
+    vs = sorted(values)
+    deciles = [vs[min(len(vs) - 1, int(i * len(vs) / buckets))] for i in range(buckets)]
+    deciles.append(vs[-1])
+    return " ".join(f"{v:+.1f}" for v in deciles)

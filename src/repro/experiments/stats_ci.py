@@ -1,0 +1,79 @@
+"""Bootstrap confidence intervals for sampled geomean speedups.
+
+Bench samples are small (8-16 workloads), so point geomeans move from seed
+to seed.  A percentile bootstrap over the per-workload speedups quantifies
+that: report ``geomean [lo, hi]`` instead of a bare number, and test whether
+two policies' difference is resolvable at the sample size.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """Percentile-bootstrap interval for a geomean speedup (in percent)."""
+
+    point_pct: float
+    lo_pct: float
+    hi_pct: float
+    confidence: float
+
+    @property
+    def width_pct(self) -> float:
+        """Interval width — the sample-noise magnitude."""
+        return self.hi_pct - self.lo_pct
+
+    def excludes_zero(self) -> bool:
+        """True when the interval resolves the sign of the effect."""
+        return self.lo_pct > 0.0 or self.hi_pct < 0.0
+
+
+def _geomean_pct(speedups: Sequence[float]) -> float:
+    return 100.0 * (math.exp(sum(math.log(s) for s in speedups) / len(speedups)) - 1.0)
+
+
+def bootstrap_geomean(
+    speedups: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile bootstrap CI of the geomean of per-workload speedups."""
+    if not speedups:
+        raise ValueError("no speedups to bootstrap")
+    if any(s <= 0 for s in speedups):
+        raise ValueError("speedups must be positive ratios")
+    rng = random.Random(seed)
+    n = len(speedups)
+    stats = sorted(
+        _geomean_pct([speedups[rng.randrange(n)] for _ in range(n)])
+        for _ in range(resamples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    lo = stats[int(alpha * resamples)]
+    hi = stats[min(resamples - 1, int((1.0 - alpha) * resamples))]
+    return ConfidenceInterval(_geomean_pct(speedups), lo, hi, confidence)
+
+
+def paired_difference_ci(
+    speedups_a: Sequence[float],
+    speedups_b: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Bootstrap CI of the paired geomean ratio A/B (same workloads), in %.
+
+    Positive means policy A is faster than policy B.
+    """
+    if len(speedups_a) != len(speedups_b):
+        raise ValueError("paired samples must align")
+    ratios = [a / b for a, b in zip(speedups_a, speedups_b)]
+    return bootstrap_geomean(ratios, confidence=confidence, resamples=resamples, seed=seed)

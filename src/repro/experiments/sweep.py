@@ -1,0 +1,96 @@
+"""Parameter-sweep helpers for sensitivity studies.
+
+A sweep varies one hardware parameter (sTLB size, DRAM latency, epoch
+length, ...) and reports DRIPPER's and the static policies' geomean speedups
+at each point — the sensitivity analyses backing the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Sequence
+
+from repro.cpu.simulator import SimConfig, SimResult, simulate
+from repro.experiments.metrics import geomean_speedup, speedup_percent
+from repro.experiments.runner import RunSpec, policy_factory
+from repro.params import SystemParams, TlbParams
+from repro.workloads.synthetic import SyntheticWorkload
+
+#: maps a sweep value onto SystemParams
+ParamsTransform = Callable[[SystemParams, int], SystemParams]
+
+
+def stlb_size_transform(params: SystemParams, entries: int) -> SystemParams:
+    """Resize the sTLB (entries must be divisible by its 12 ways)."""
+    return replace(params, stlb=TlbParams("sTLB", entries, params.stlb.ways, params.stlb.latency))
+
+
+def dtlb_size_transform(params: SystemParams, entries: int) -> SystemParams:
+    """Resize the dTLB."""
+    return replace(params, dtlb=TlbParams("dTLB", entries, params.dtlb.ways, params.dtlb.latency))
+
+
+def dram_latency_transform(params: SystemParams, latency: int) -> SystemParams:
+    """Set the DRAM access latency."""
+    return replace(params, dram=replace(params.dram, access_latency=latency))
+
+
+def sweep_parameter(
+    workloads: Sequence[SyntheticWorkload],
+    transform: ParamsTransform,
+    values: Sequence[int],
+    *,
+    policies: Sequence[str] = ("permit", "dripper"),
+    prefetcher: str = "berti",
+    base_spec: RunSpec | None = None,
+) -> dict[int, dict[str, float]]:
+    """Sweep one parameter; returns {value: {policy: geomean % over discard}}."""
+    spec = base_spec or RunSpec(prefetcher=prefetcher)
+    out: dict[int, dict[str, float]] = {}
+    for value in values:
+        results: dict[str, list[SimResult]] = {}
+        for policy in ("discard", *policies):
+            runs = []
+            for workload in workloads:
+                config = spec.config_for(workload)
+                config = replace(
+                    config,
+                    params=transform(config.params, value),
+                    policy_factory=policy_factory(policy, prefetcher),
+                )
+                runs.append(simulate(workload, config))
+            results[policy] = runs
+        out[value] = {
+            policy: speedup_percent(geomean_speedup(results[policy], results["discard"]))
+            for policy in policies
+        }
+    return out
+
+
+def sweep_epoch_length(
+    workloads: Sequence[SyntheticWorkload],
+    epoch_lengths: Sequence[int],
+    *,
+    prefetcher: str = "berti",
+    base_spec: RunSpec | None = None,
+) -> dict[int, float]:
+    """Sensitivity of DRIPPER to the adaptive scheme's epoch length."""
+    spec = base_spec or RunSpec(prefetcher=prefetcher)
+    out: dict[int, float] = {}
+    base_runs = []
+    for workload in workloads:
+        config = spec.config_for(workload)
+        config = replace(config, policy_factory=policy_factory("discard", prefetcher))
+        base_runs.append(simulate(workload, config))
+    for epoch in epoch_lengths:
+        runs = []
+        for workload in workloads:
+            config = spec.config_for(workload)
+            config = replace(
+                config,
+                policy_factory=policy_factory("dripper", prefetcher),
+                epoch_instructions=epoch,
+            )
+            runs.append(simulate(workload, config))
+        out[epoch] = speedup_percent(geomean_speedup(runs, base_runs))
+    return out

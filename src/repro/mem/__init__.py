@@ -1,0 +1,7 @@
+"""Memory substrate: caches, MSHRs, DRAM, and the per-core hierarchy."""
+
+from repro.mem.cache import Block, Cache
+from repro.mem.dram import Dram
+from repro.mem.hierarchy import MemoryHierarchy
+
+__all__ = ["Block", "Cache", "Dram", "MemoryHierarchy"]

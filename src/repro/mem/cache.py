@@ -1,0 +1,233 @@
+"""Set-associative cache with LRU replacement, MSHRs, and fill timestamps.
+
+The cache is *functional + timing-annotated*: it tracks which lines are
+resident (so hits/misses and pollution are modelled exactly) and annotates
+each block with the cycle its fill completes (so late prefetches pay the
+residual latency instead of counting as full hits).
+
+L1D blocks additionally carry the paper's **Page Cross Bit (PCB)** plus a
+per-block hit counter, which drive the MOKA training events of Figure 7:
+a demand hit on a PCB block fires ``listener.on_pcb_hit`` and the eviction
+of a never-hit PCB block fires ``listener.on_pcb_evict_unused``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional, Protocol
+
+from repro.mem.replacement import make_replacement_policy
+from repro.params import CacheParams
+from repro.stats import HitMissStats
+from repro.vm.address import LINE_SHIFT
+
+
+class EvictionListener(Protocol):
+    """Hooks the page-cross filter registers on the L1D."""
+
+    def on_pcb_hit(self, phys_line: int) -> None:
+        """First demand hit on a page-cross-prefetched block."""
+        ...
+
+    def on_pcb_evict_unused(self, phys_line: int) -> None:
+        """Eviction of a page-cross-prefetched block that never hit."""
+        ...
+
+
+class Block:
+    """One cache block's metadata."""
+
+    __slots__ = ("tag", "lru", "ready", "dirty", "prefetched", "pcb", "hits")
+
+    def __init__(self, tag: int, lru: int, ready: float, prefetched: bool, pcb: bool):
+        self.tag = tag
+        self.lru = lru
+        self.ready = ready
+        self.dirty = False
+        self.prefetched = prefetched
+        self.pcb = pcb
+        self.hits = 0
+
+
+class Cache:
+    """One cache level."""
+
+    def __init__(
+        self,
+        params: CacheParams,
+        writeback: Optional[Callable[[int, float], None]] = None,
+    ):
+        self.params = params
+        self.name = params.name
+        self.latency = params.latency
+        self._set_mask = params.sets - 1
+        self._ways = params.ways
+        self._sets: list[dict[int, Block]] = [dict() for _ in range(params.sets)]
+        self._policy = make_replacement_policy(params.replacement)
+        #: line -> fill-ready time for outstanding misses (MSHR merge)
+        self._outstanding: dict[int, float] = {}
+        #: min-heap of (ready, line); caps concurrent misses at mshr_entries
+        self._mshr_heap: list[tuple[float, int]] = []
+        self._mshr_entries = params.mshr_entries
+        self._writeback = writeback
+        self.listener: Optional[EvictionListener] = None
+        self.stats = HitMissStats()
+        self.demand_stats = HitMissStats()
+        # prefetch usefulness accounting (all prefetches into this cache)
+        self.prefetch_fills = 0
+        self.prefetch_useful = 0
+        self.prefetch_useless = 0
+        self.prefetch_late = 0
+        # page-cross subset (meaningful for the L1D)
+        self.pgc_fills = 0
+        self.pgc_useful = 0
+        self.pgc_useless = 0
+        self._snap_pf = (0, 0, 0, 0, 0, 0, 0)
+
+    # -- residency -------------------------------------------------------
+
+    def _set_for(self, line: int) -> dict[int, Block]:
+        return self._sets[line & self._set_mask]
+
+    def probe(self, line: int) -> Optional[Block]:
+        """Check residency without touching LRU state or statistics."""
+        return self._set_for(line).get(line)
+
+    def lookup(self, line: int, t: float, *, demand: bool = True) -> Optional[Block]:
+        """Tag lookup; updates replacement state and statistics."""
+        block = self._set_for(line).get(line)
+        hit = block is not None
+        self.stats.record(hit)
+        if demand:
+            self.demand_stats.record(hit)
+        if hit:
+            self._policy.on_hit(block)
+            if demand:
+                if block.prefetched and block.hits == 0:
+                    self.prefetch_useful += 1
+                    if block.pcb:
+                        self.pgc_useful += 1
+                        if self.listener is not None:
+                            self.listener.on_pcb_hit(line)
+                block.hits += 1
+        return block
+
+    def fill(self, line: int, t: float, ready: float, *, prefetched: bool = False, pcb: bool = False) -> None:
+        """Install a line, evicting the policy's victim if the set is full."""
+        cset = self._set_for(line)
+        existing = cset.get(line)
+        if existing is not None:
+            # refill of a resident line (e.g. prefetch hit under demand): keep
+            # the earlier ready time, never downgrade a demand block to a
+            # prefetch block.
+            self._policy.on_hit(existing)
+            if ready < existing.ready:
+                existing.ready = ready
+            return
+        if len(cset) >= self._ways:
+            victim_line = self._policy.victim(cset)
+            self._evict(victim_line, cset.pop(victim_line), t)
+        block = Block(line, 0, ready, prefetched, pcb)
+        cset[line] = block
+        self._policy.on_fill(block, prefetched)
+        if prefetched:
+            self.prefetch_fills += 1
+            if pcb:
+                self.pgc_fills += 1
+
+    def _evict(self, line: int, block: Block, t: float) -> None:
+        if block.prefetched and block.hits == 0:
+            self.prefetch_useless += 1
+            if block.pcb:
+                self.pgc_useless += 1
+                if self.listener is not None:
+                    self.listener.on_pcb_evict_unused(line)
+        if block.dirty and self._writeback is not None:
+            self._writeback(line, t)
+
+    def invalidate(self, line: int) -> None:
+        """Drop the line if resident (no writeback, no statistics)."""
+        self._set_for(line).pop(line, None)
+
+    # -- miss timing -------------------------------------------------------
+
+    def outstanding_ready(self, line: int, t: float) -> Optional[float]:
+        """Fill-ready time when the line is already being fetched (MSHR merge)."""
+        ready = self._outstanding.get(line)
+        if ready is not None and ready > t:
+            return ready
+        if ready is not None:
+            del self._outstanding[line]
+        return None
+
+    def mshr_delay(self, t: float) -> float:
+        """Extra cycles a new miss waits for a free MSHR at time `t`."""
+        heap = self._mshr_heap
+        while heap and heap[0][0] <= t:
+            _, line = heapq.heappop(heap)
+            if self._outstanding.get(line, 0.0) <= t:
+                self._outstanding.pop(line, None)
+        if len(heap) >= self._mshr_entries:
+            earliest = heap[0][0]
+            return max(0.0, earliest - t)
+        return 0.0
+
+    def register_miss(self, line: int, t: float, ready: float) -> None:
+        """Track an in-flight miss for merging and MSHR occupancy."""
+        self._outstanding[line] = ready
+        heapq.heappush(self._mshr_heap, (ready, line))
+
+    @property
+    def in_flight_misses(self) -> int:
+        """Currently outstanding misses (MSHR occupancy, pruned lazily)."""
+        return len(self._mshr_heap)
+
+    # -- statistics -------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Account resident never-hit prefetch blocks as useless (end of sim)."""
+        for cset in self._sets:
+            for block in cset.values():
+                if block.prefetched and block.hits == 0:
+                    self.prefetch_useless += 1
+                    if block.pcb:
+                        self.pgc_useless += 1
+                    block.prefetched = False
+                    block.pcb = False
+
+    def snapshot(self) -> None:
+        """Mark the warm-up boundary for all statistics."""
+        self.stats.snapshot()
+        self.demand_stats.snapshot()
+        self._snap_pf = (
+            self.prefetch_fills,
+            self.prefetch_useful,
+            self.prefetch_useless,
+            self.prefetch_late,
+            self.pgc_fills,
+            self.pgc_useful,
+            self.pgc_useless,
+        )
+
+    @property
+    def measured_prefetch(self) -> dict[str, int]:
+        """Prefetch usefulness counters over the measured region."""
+        s = self._snap_pf
+        return {
+            "fills": self.prefetch_fills - s[0],
+            "useful": self.prefetch_useful - s[1],
+            "useless": self.prefetch_useless - s[2],
+            "late": self.prefetch_late - s[3],
+            "pgc_fills": self.pgc_fills - s[4],
+            "pgc_useful": self.pgc_useful - s[5],
+            "pgc_useless": self.pgc_useless - s[6],
+        }
+
+    def occupancy(self) -> int:
+        """Number of resident blocks."""
+        return sum(len(cset) for cset in self._sets)
+
+
+def byte_to_line(addr: int) -> int:
+    """Byte address to cache-line address."""
+    return addr >> LINE_SHIFT

@@ -1,0 +1,136 @@
+"""Cache replacement policies.
+
+Table IV's configuration is LRU everywhere, which stays the default.  The
+additional policies exist for the ablation studies and for the prefetch-
+management comparison the paper's related-work section points at ([43],
+[74], [91]): prefetch-aware insertion demotes prefetched blocks so that
+useless (page-cross) prefetches do less damage — an alternative mitigation
+to filtering that the ablation bench contrasts with DRIPPER.
+
+A policy manages each block's ``lru`` field (an opaque priority word owned
+by the policy) through three hooks: fill, hit, victim selection.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mem.cache import Block
+
+_RRPV_MAX = 3
+
+
+class LruPolicy:
+    """Least-recently-used (the paper's configuration)."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._tick = 0
+
+    def on_fill(self, block: "Block", prefetched: bool) -> None:
+        """Insert at MRU."""
+        self._tick += 1
+        block.lru = self._tick
+
+    def on_hit(self, block: "Block") -> None:
+        """Promote to MRU."""
+        self._tick += 1
+        block.lru = self._tick
+
+    def victim(self, blocks: dict) -> int:
+        """Evict the least-recently-used block."""
+        return min(blocks, key=lambda line: blocks[line].lru)
+
+
+class PrefetchAwareLruPolicy(LruPolicy):
+    """LRU with prefetched blocks inserted at the LRU end (PACMan-style).
+
+    A prefetched block earns MRU position only on its first demand hit, so
+    useless prefetches are the first to go.
+    """
+
+    name = "pa-lru"
+
+    def on_fill(self, block: "Block", prefetched: bool) -> None:
+        """Demand fills go to MRU; prefetch fills to (near-)LRU."""
+        self._tick += 1
+        block.lru = self._tick if not prefetched else -self._tick
+
+
+class SrripPolicy:
+    """Static re-reference interval prediction (2-bit RRPV)."""
+
+    name = "srrip"
+
+    def on_fill(self, block: "Block", prefetched: bool) -> None:
+        """Insert with a long re-reference prediction."""
+        block.lru = _RRPV_MAX - 1
+
+    def on_hit(self, block: "Block") -> None:
+        """Promote to near-immediate re-reference."""
+        block.lru = 0
+
+    def victim(self, blocks: dict) -> int:
+        """Evict a distant block, aging the set until one appears."""
+        # find a distant block, aging everyone until one appears
+        while True:
+            for line, block in blocks.items():
+                if block.lru >= _RRPV_MAX:
+                    return line
+            for block in blocks.values():
+                block.lru += 1
+
+
+class BrripPolicy(SrripPolicy):
+    """Bimodal RRIP: most fills are inserted distant (thrash-resistant)."""
+
+    name = "brrip"
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def on_fill(self, block: "Block", prefetched: bool) -> None:
+        """Insert distant except for 1-in-32 fills (thrash resistance)."""
+        self._counter = (self._counter + 1) & 0x1F
+        block.lru = _RRPV_MAX - 1 if self._counter == 0 else _RRPV_MAX
+
+
+class RandomPolicy:
+    """Deterministic pseudo-random victim selection."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0x9E3779B9) -> None:
+        self._state = seed or 1
+
+    def on_fill(self, block: "Block", prefetched: bool) -> None:
+        """No insertion state needed."""
+        block.lru = 0
+
+    def on_hit(self, block: "Block") -> None:
+        """Hits carry no information for random replacement."""
+
+    def victim(self, blocks: dict) -> int:
+        """Evict a deterministic pseudo-random block (xorshift32)."""
+        s = self._state
+        s ^= (s << 13) & 0xFFFFFFFF
+        s ^= s >> 17
+        s ^= (s << 5) & 0xFFFFFFFF
+        self._state = s
+        keys = list(blocks)
+        return keys[s % len(keys)]
+
+
+_POLICIES = {
+    p.name: p for p in (LruPolicy, PrefetchAwareLruPolicy, SrripPolicy, BrripPolicy, RandomPolicy)
+}
+
+
+def make_replacement_policy(name: str):
+    """Instantiate a replacement policy by name (one instance per cache)."""
+    key = name.lower()
+    if key not in _POLICIES:
+        raise KeyError(f"unknown replacement policy {name!r}; known: {sorted(_POLICIES)}")
+    return _POLICIES[key]()

@@ -1,0 +1,147 @@
+"""System configuration parameters.
+
+Mirrors Table IV of the paper ("System Configuration").  Every structure in
+the simulator is sized from a :class:`SystemParams` instance so experiments
+can sweep configurations without touching simulator code.
+
+Latencies are in core cycles at the paper's 4 GHz clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry and timing of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    latency: int
+    mshr_entries: int
+    line_bytes: int = 64
+    #: replacement policy name (repro.mem.replacement); Table IV uses LRU
+    replacement: str = "lru"
+
+    @property
+    def sets(self) -> int:
+        """Set count implied by size/ways/line."""
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"ways*line ({self.ways}*{self.line_bytes})"
+            )
+        sets = self.size_bytes // (self.ways * self.line_bytes)
+        if sets & (sets - 1):
+            raise ValueError(f"{self.name}: set count {sets} is not a power of two")
+
+
+@dataclass(frozen=True)
+class TlbParams:
+    """Geometry and timing of one TLB level."""
+
+    name: str
+    entries: int
+    ways: int
+    latency: int
+
+    @property
+    def sets(self) -> int:
+        """Set count implied by entries/ways."""
+        return self.entries // self.ways
+
+    def __post_init__(self) -> None:
+        if self.entries % self.ways != 0:
+            raise ValueError(f"{self.name}: {self.entries} entries not divisible by {self.ways} ways")
+        sets = self.entries // self.ways
+        if sets & (sets - 1):
+            raise ValueError(f"{self.name}: set count {sets} is not a power of two")
+
+
+@dataclass(frozen=True)
+class PscParams:
+    """Split page-structure caches, one per upper page-table level.
+
+    Paper: "4-level Split PSC, parallel search, 1-cycle lat.
+    L5: 1-entry, L4: 2-entry, L3: 8-entry, L2: 32-entry".
+    """
+
+    l5_entries: int = 1
+    l4_entries: int = 2
+    l3_entries: int = 8
+    l2_entries: int = 32
+    latency: int = 1
+
+    def entries_for_level(self, level: int) -> int:
+        """PSC size for one page-table level (5..2)."""
+        return {5: self.l5_entries, 4: self.l4_entries, 3: self.l3_entries, 2: self.l2_entries}[level]
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Out-of-order core model parameters (Table IV, "1-8 cores, 4GHz...")."""
+
+    rob_entries: int = 352
+    issue_width: int = 6
+    retire_width: int = 6
+    branch_mispredict_penalty: int = 12
+    frequency_ghz: float = 4.0
+
+
+@dataclass(frozen=True)
+class DramParams:
+    """Simple latency + bandwidth DRAM model (3200 MT/s in the paper)."""
+
+    access_latency: int = 180
+    #: cycles a channel is busy transferring one 64B line (bandwidth model)
+    transfer_cycles: int = 8
+    channels: int = 2
+    #: optional open-page row-buffer model: row hits pay row_hit_latency
+    row_buffer: bool = False
+    banks_per_channel: int = 8
+    row_hit_latency: int = 110
+    #: consecutive lines sharing a DRAM row (8KB rows)
+    lines_per_row: int = 128
+
+
+@dataclass(frozen=True)
+class SystemParams:
+    """Full single-core system configuration (Table IV)."""
+
+    core: CoreParams = field(default_factory=CoreParams)
+    itlb: TlbParams = field(default_factory=lambda: TlbParams("iTLB", 64, 4, 1))
+    dtlb: TlbParams = field(default_factory=lambda: TlbParams("dTLB", 64, 4, 1))
+    stlb: TlbParams = field(default_factory=lambda: TlbParams("sTLB", 1536, 12, 8))
+    psc: PscParams = field(default_factory=PscParams)
+    l1i: CacheParams = field(default_factory=lambda: CacheParams("L1I", 32 * 1024, 8, 4, 8))
+    l1d: CacheParams = field(default_factory=lambda: CacheParams("L1D", 48 * 1024, 12, 5, 16))
+    l2c: CacheParams = field(default_factory=lambda: CacheParams("L2C", 512 * 1024, 8, 10, 32))
+    llc: CacheParams = field(default_factory=lambda: CacheParams("LLC", 2 * 1024 * 1024, 16, 20, 64))
+    dram: DramParams = field(default_factory=DramParams)
+
+    def scaled_llc(self, cores: int) -> "SystemParams":
+        """Scale the shared resources for a multi-core system.
+
+        LLC capacity and MSHRs grow 2MB/core (ChampSim convention for the
+        paper's 8-core runs); DRAM channel count grows with the core count
+        (the paper's 16GB 8-core memory system) so per-core bandwidth does
+        not collapse.
+        """
+        llc = replace(
+            self.llc,
+            size_bytes=self.llc.size_bytes * cores,
+            mshr_entries=self.llc.mshr_entries * cores,
+        )
+        channels = self.dram.channels
+        while channels < self.dram.channels * max(1, cores // 2):
+            channels *= 2
+        dram = replace(self.dram, channels=channels)
+        return replace(self, llc=llc, dram=dram)
+
+
+DEFAULT_PARAMS = SystemParams()

@@ -1,0 +1,61 @@
+"""Prefetcher substrate: Berti, IPCP, BOP (L1D); SPP & adapters (L2C); FNL (L1I)."""
+
+from repro.prefetch.base import L1dPrefetcher, NoPrefetcher
+from repro.prefetch.berti import BertiPrefetcher
+from repro.prefetch.berti_timely import BertiTimelyPrefetcher
+from repro.prefetch.bop import BopPrefetcher
+from repro.prefetch.ipcp import IpcpPrefetcher
+from repro.prefetch.l2_adapters import (
+    BopL2,
+    IpcpL2,
+    L2Prefetcher,
+    NoL2Prefetcher,
+    SppL2,
+    make_l2_prefetcher,
+)
+from repro.prefetch.next_line import NextLinePrefetcher
+from repro.prefetch.spp import SppPrefetcher
+from repro.prefetch.stride import NextLineDataPrefetcher, StridePrefetcher
+
+
+def make_l1d_prefetcher(name: str, *, extra_storage_bytes: int = 0) -> L1dPrefetcher:
+    """Factory for the paper's three L1D prefetchers (plus 'none')."""
+    key = name.lower()
+    if key == "berti":
+        return BertiPrefetcher(extra_storage_bytes=extra_storage_bytes)
+    if key == "berti-timely":
+        return BertiTimelyPrefetcher(extra_storage_bytes=extra_storage_bytes)
+    if key == "ipcp":
+        return IpcpPrefetcher(extra_storage_bytes=extra_storage_bytes)
+    if key == "bop":
+        return BopPrefetcher(degree=2, extra_storage_bytes=extra_storage_bytes)
+    if key == "stride":
+        return StridePrefetcher(extra_storage_bytes=extra_storage_bytes)
+    if key == "next-line":
+        return NextLineDataPrefetcher(extra_storage_bytes=extra_storage_bytes)
+    if key == "none":
+        return NoPrefetcher()
+    raise KeyError(
+        f"unknown L1D prefetcher {name!r}; known: berti, berti-timely, ipcp, bop, stride, next-line, none"
+    )
+
+
+__all__ = [
+    "L1dPrefetcher",
+    "NoPrefetcher",
+    "BertiPrefetcher",
+    "BertiTimelyPrefetcher",
+    "BopPrefetcher",
+    "IpcpPrefetcher",
+    "BopL2",
+    "IpcpL2",
+    "L2Prefetcher",
+    "NoL2Prefetcher",
+    "SppL2",
+    "make_l2_prefetcher",
+    "NextLinePrefetcher",
+    "NextLineDataPrefetcher",
+    "StridePrefetcher",
+    "SppPrefetcher",
+    "make_l1d_prefetcher",
+]

@@ -1,0 +1,113 @@
+"""Berti variant with measured-latency timeliness (closer to the original).
+
+The default :class:`~repro.prefetch.berti.BertiPrefetcher` approximates
+timeliness with a fixed access-count lookback.  This variant follows the
+MICRO'22 design more closely:
+
+* the engine reports each demand fill's *measured latency* via
+  :meth:`on_fill`;
+* a delta is counted as timely only if the anchoring access happened at
+  least that long ago (per-IP moving average of observed latencies), i.e. a
+  prefetch issued at the anchor would have completed by now;
+* deltas carry a coverage counter over a fixed observation window and are
+  promoted at Berti's 0.35 high-confidence bar.
+
+It is interchangeable with the default Berti (same `L1dPrefetcher`
+interface, registered as ``berti-timely``); the ablation in
+``benchmarks/test_ablation_berti_variants.py`` compares the two.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import PrefetchRequest
+from repro.prefetch.base import L1dPrefetcher
+from repro.vm.address import LINE_SHIFT
+
+
+class _TimelyEntry:
+    __slots__ = ("history", "deltas", "opportunities", "best", "avg_latency")
+
+    def __init__(self) -> None:
+        self.history: list[tuple[int, float]] = []  # (line, time), newest last
+        self.deltas: dict[int, int] = {}
+        self.opportunities = 0
+        self.best: list[int] = []
+        #: per-IP moving average of observed fill latencies
+        self.avg_latency = 120.0
+
+
+class BertiTimelyPrefetcher(L1dPrefetcher):
+    """Berti with measured-latency timeliness."""
+
+    name = "berti-timely"
+
+    def __init__(
+        self,
+        *,
+        ip_table_entries: int = 64,
+        history_entries: int = 16,
+        max_delta: int = 192,
+        high_confidence: float = 0.35,
+        max_best_deltas: int = 3,
+        window: int = 16,
+        latency_smoothing: float = 0.25,
+        extra_storage_bytes: int = 0,
+    ):
+        super().__init__(extra_storage_bytes=extra_storage_bytes)
+        self.ip_table_entries = ip_table_entries + extra_storage_bytes // 64
+        self.history_entries = history_entries
+        self.max_delta = max_delta
+        self.high_confidence = high_confidence
+        self.max_best_deltas = max_best_deltas
+        self.window = window
+        self.latency_smoothing = latency_smoothing
+        self._table: dict[int, _TimelyEntry] = {}
+        self._lru: dict[int, int] = {}
+        self._tick = 0
+        self._last_pc = 0
+
+    def _entry(self, pc: int) -> _TimelyEntry:
+        self._tick += 1
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.ip_table_entries:
+                victim = min(self._lru, key=self._lru.get)
+                del self._table[victim]
+                del self._lru[victim]
+            entry = _TimelyEntry()
+            self._table[pc] = entry
+        self._lru[pc] = self._tick
+        return entry
+
+    def on_fill(self, vaddr: int, latency: float) -> None:
+        """Feed a measured demand-fill latency (engine hook)."""
+        entry = self._table.get(self._last_pc)
+        if entry is not None and latency > 0:
+            s = self.latency_smoothing
+            entry.avg_latency = (1 - s) * entry.avg_latency + s * latency
+
+    def on_access(self, pc: int, vaddr: int, hit: bool, t: float) -> list[PrefetchRequest]:
+        """Observe the access against the measured-latency horizon."""
+        line = vaddr >> LINE_SHIFT
+        entry = self._entry(pc)
+        self._last_pc = pc
+        entry.opportunities += 1
+        horizon = entry.avg_latency
+        for hline, htime in entry.history:
+            if t - htime >= horizon:
+                delta = line - hline
+                if delta != 0 and -self.max_delta <= delta <= self.max_delta:
+                    entry.deltas[delta] = entry.deltas.get(delta, 0) + 1
+        if entry.opportunities % self.window == 0 and entry.deltas:
+            bar = self.high_confidence * self.window
+            confident = [d for d, n in entry.deltas.items() if n >= bar]
+            confident.sort(key=abs, reverse=True)
+            entry.best = confident[: self.max_best_deltas]
+            entry.deltas = {d: n // 2 for d, n in entry.deltas.items() if n > 1}
+        entry.history.append((line, t))
+        if len(entry.history) > self.history_entries:
+            entry.history.pop(0)
+        return [
+            self._request(line + delta, pc, line, meta=rank)
+            for rank, delta in enumerate(entry.best, start=1)
+        ]

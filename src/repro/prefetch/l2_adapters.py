@@ -1,0 +1,88 @@
+"""L2C prefetcher adapters for the Section V-B7 study (Figure 17).
+
+L2 prefetchers are PIPT-side: they see physical line addresses (no PC) and
+must stay within the physical 4KB page.  SPP is purpose-built for this; BOP
+and IPCP are adapted by driving their L1-style engines with physical lines
+and a constant PC, then clamping emitted targets to the page — the same
+conversion ChampSim applies when running these prefetchers at L2.
+"""
+
+from __future__ import annotations
+
+from repro.prefetch.base import L1dPrefetcher
+from repro.prefetch.bop import BopPrefetcher
+from repro.prefetch.ipcp import IpcpPrefetcher
+from repro.prefetch.spp import SppPrefetcher
+from repro.vm.address import LINE_SHIFT, LINES_PER_PAGE_4K
+
+
+class L2Prefetcher:
+    """Interface: physical line in, list of in-page physical target lines out."""
+
+    name = "no-l2"
+
+    def on_access(self, paddr_line: int, t: float) -> list[int]:
+        """Observe an L2 access; return in-page physical target lines."""
+        return []
+
+
+class NoL2Prefetcher(L2Prefetcher):
+    """Baseline: no L2 prefetching (the paper's default, per ARM N/V-series)."""
+
+
+class SppL2(L2Prefetcher):
+    """SPP behind the L2Prefetcher interface."""
+
+    name = "spp"
+
+    def __init__(self) -> None:
+        self._engine = SppPrefetcher()
+
+    def on_access(self, paddr_line: int, t: float) -> list[int]:
+        """Delegate to the SPP engine (already in-page by construction)."""
+        return self._engine.on_access(paddr_line, t)
+
+
+class _AdaptedL2(L2Prefetcher):
+    """Clamp an L1-style engine's requests to the physical page."""
+
+    def __init__(self, engine: L1dPrefetcher):
+        self._engine = engine
+
+    def on_access(self, paddr_line: int, t: float) -> list[int]:
+        """Drive the wrapped engine and clamp targets to the physical page."""
+        page = paddr_line // LINES_PER_PAGE_4K
+        requests = self._engine.on_access(0, paddr_line << LINE_SHIFT, True, t)
+        targets = []
+        for req in requests:
+            target_line = req.vaddr >> LINE_SHIFT
+            if target_line // LINES_PER_PAGE_4K == page:
+                targets.append(target_line)
+        return targets
+
+
+class BopL2(_AdaptedL2):
+    """BOP adapted to the L2 (physical, page-clamped)."""
+
+    name = "bop"
+
+    def __init__(self) -> None:
+        super().__init__(BopPrefetcher(degree=2))
+
+
+class IpcpL2(_AdaptedL2):
+    """IPCP adapted to the L2 (physical, page-clamped, no PC)."""
+
+    name = "ipcp"
+
+    def __init__(self) -> None:
+        super().__init__(IpcpPrefetcher())
+
+
+def make_l2_prefetcher(name: str) -> L2Prefetcher:
+    """Factory for the Figure 17 L2 prefetcher set."""
+    key = name.lower()
+    table = {"none": NoL2Prefetcher, "no-l2": NoL2Prefetcher, "spp": SppL2, "bop": BopL2, "ipcp": IpcpL2}
+    if key not in table:
+        raise KeyError(f"unknown L2 prefetcher {name!r}; known: {sorted(table)}")
+    return table[key]()

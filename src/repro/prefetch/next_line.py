@@ -1,0 +1,26 @@
+"""FNL-style next-line instruction prefetcher for the L1I (Table IV: fnl-mma).
+
+A deliberately small model of Seznec's FNL+MMA: on every fetched line,
+prefetch the next `degree` sequential lines.  This keeps the L1I pressure
+signal (L1I MPKI, used by the adaptive thresholding scheme) realistic
+without modelling the full branch-directed front end.
+"""
+
+from __future__ import annotations
+
+
+class NextLinePrefetcher:
+    """Sequential next-line instruction prefetcher."""
+
+    name = "fnl"
+
+    def __init__(self, degree: int = 2):
+        self.degree = degree
+        self._last_line = -1
+
+    def on_fetch(self, paddr_line: int) -> list[int]:
+        """Returns instruction-line prefetch targets for a fetched line."""
+        if paddr_line == self._last_line:
+            return []
+        self._last_line = paddr_line
+        return [paddr_line + k for k in range(1, self.degree + 1)]

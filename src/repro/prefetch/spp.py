@@ -1,0 +1,104 @@
+"""SPP: Signature Path Prefetcher (Kim et al., MICRO'16) — L2C variant.
+
+Operates on physical addresses (L2 is PIPT) and prefetches only within the
+physical 4KB page, as lower-level prefetchers must (Section II-A2).  Per-page
+signatures compress the recent delta history; a pattern table maps signatures
+to (delta, confidence); prediction walks the signature path with lookahead
+while the cumulative confidence stays above a threshold.
+"""
+
+from __future__ import annotations
+
+from repro.vm.address import LINES_PER_PAGE_4K
+
+_SIG_MASK = 0xFFF
+
+
+class SppPrefetcher:
+    """SPP at the L2C (physical addresses, in-page only)."""
+
+    name = "spp"
+
+    def __init__(
+        self,
+        *,
+        signature_table_entries: int = 256,
+        pattern_table_entries: int = 2048,
+        lookahead_depth: int = 3,
+        confidence_threshold: float = 0.4,
+    ):
+        self.signature_table_entries = signature_table_entries
+        self.pattern_table_entries = pattern_table_entries
+        self.lookahead_depth = lookahead_depth
+        self.confidence_threshold = confidence_threshold
+        # page -> [signature, last_offset, lru]
+        self._pages: dict[int, list[int]] = {}
+        # signature -> {delta: count}
+        self._patterns: dict[int, dict[int, int]] = {}
+        self._tick = 0
+
+    def _page_entry(self, page: int) -> list[int]:
+        self._tick += 1
+        entry = self._pages.get(page)
+        if entry is None:
+            if len(self._pages) >= self.signature_table_entries:
+                victim = min(self._pages, key=lambda p: self._pages[p][2])
+                del self._pages[victim]
+            entry = [0, -1, self._tick]
+            self._pages[page] = entry
+        else:
+            entry[2] = self._tick
+        return entry
+
+    def _train(self, signature: int, delta: int) -> None:
+        counts = self._patterns.get(signature)
+        if counts is None:
+            if len(self._patterns) >= self.pattern_table_entries:
+                self._patterns.pop(next(iter(self._patterns)))
+            counts = {}
+            self._patterns[signature] = counts
+        counts[delta] = counts.get(delta, 0) + 1
+        if counts[delta] >= 64:  # age
+            for d in counts:
+                counts[d] //= 2
+
+    def _predict(self, signature: int) -> tuple[int, float] | None:
+        counts = self._patterns.get(signature)
+        if not counts:
+            return None
+        total = sum(counts.values())
+        delta, count = max(counts.items(), key=lambda kv: kv[1])
+        return delta, count / total
+
+    def on_access(self, paddr_line: int, t: float) -> list[int]:
+        """Observe an L2 access; return in-page physical prefetch target lines."""
+        page = paddr_line // LINES_PER_PAGE_4K
+        offset = paddr_line % LINES_PER_PAGE_4K
+        entry = self._page_entry(page)
+        signature, last_offset = entry[0], entry[1]
+        if last_offset >= 0:
+            delta = offset - last_offset
+            if delta != 0:
+                self._train(signature, delta)
+                signature = ((signature << 3) ^ (delta & 0x3F)) & _SIG_MASK
+        entry[0] = signature
+        entry[1] = offset
+
+        targets: list[int] = []
+        confidence = 1.0
+        sig = signature
+        cur = offset
+        for _ in range(self.lookahead_depth):
+            pred = self._predict(sig)
+            if pred is None:
+                break
+            delta, conf = pred
+            confidence *= conf
+            if confidence < self.confidence_threshold:
+                break
+            cur += delta
+            if not 0 <= cur < LINES_PER_PAGE_4K:
+                break  # in-page only
+            targets.append(page * LINES_PER_PAGE_4K + cur)
+            sig = ((sig << 3) ^ (delta & 0x3F)) & _SIG_MASK
+        return targets

@@ -1,0 +1,74 @@
+"""Baseline L1D prefetchers: per-IP stride and sequential next-line.
+
+Not part of the paper's evaluated set (Berti/IPCP/BOP), but standard
+reference points: the stride prefetcher is the classic Chen-Baer design and
+the next-line prefetcher is the simplest possible page-cross generator
+(every 64th prefetch crosses).  Both are useful for calibrating filters and
+in examples/ablations.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import PrefetchRequest
+from repro.prefetch.base import L1dPrefetcher
+from repro.vm.address import LINE_SHIFT
+
+
+class StridePrefetcher(L1dPrefetcher):
+    """Per-IP reference-prediction-table stride prefetcher (Chen & Baer)."""
+
+    name = "stride"
+
+    def __init__(self, *, table_entries: int = 256, degree: int = 2, extra_storage_bytes: int = 0):
+        super().__init__(extra_storage_bytes=extra_storage_bytes)
+        self.table_entries = table_entries + extra_storage_bytes // 8
+        self.degree = degree
+        # pc -> [last_line, stride, confidence (0..3), lru]
+        self._table: dict[int, list[int]] = {}
+        self._tick = 0
+
+    def on_access(self, pc: int, vaddr: int, hit: bool, t: float) -> list[PrefetchRequest]:
+        """Track the per-IP stride; emit once confidence reaches 2."""
+        line = vaddr >> LINE_SHIFT
+        self._tick += 1
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.table_entries:
+                victim = min(self._table, key=lambda k: self._table[k][3])
+                del self._table[victim]
+            self._table[pc] = [line, 0, 0, self._tick]
+            return []
+        last, stride, confidence, _ = entry
+        delta = line - last
+        if delta != 0:
+            if delta == stride:
+                confidence = min(confidence + 1, 3)
+            else:
+                confidence = max(confidence - 1, 0)
+                if confidence == 0:
+                    stride = delta
+        entry[0] = line
+        entry[1] = stride
+        entry[2] = confidence
+        entry[3] = self._tick
+        if confidence < 2 or stride == 0:
+            return []
+        return [
+            self._request(line + stride * k, pc, line, meta=k)
+            for k in range(1, self.degree + 1)
+        ]
+
+
+class NextLineDataPrefetcher(L1dPrefetcher):
+    """Prefetch the next `degree` sequential lines on every access."""
+
+    name = "next-line"
+
+    def __init__(self, *, degree: int = 1, extra_storage_bytes: int = 0):
+        super().__init__(extra_storage_bytes=extra_storage_bytes)
+        self.degree = degree
+
+    def on_access(self, pc: int, vaddr: int, hit: bool, t: float) -> list[PrefetchRequest]:
+        """Unconditionally emit the next `degree` lines."""
+        line = vaddr >> LINE_SHIFT
+        return [self._request(line + k, pc, line, meta=k) for k in range(1, self.degree + 1)]

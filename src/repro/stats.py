@@ -1,0 +1,61 @@
+"""Lightweight hit/miss statistics shared by caches, TLBs, and PSCs.
+
+Every hardware structure owns a :class:`HitMissStats`.  The simulator snapshots
+all stats at the end of warm-up so that reported MPKIs and miss rates cover
+only the measured region, mirroring the paper's warm-up/measure methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class HitMissStats:
+    """Access/hit/miss counters with warm-up snapshotting."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    _snap_accesses: int = 0
+    _snap_hits: int = 0
+    _snap_misses: int = 0
+
+    def record(self, hit: bool) -> None:
+        """Count one access as a hit or a miss."""
+        self.accesses += 1
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def snapshot(self) -> None:
+        """Mark the warm-up boundary; measured_* report deltas from here."""
+        self._snap_accesses = self.accesses
+        self._snap_hits = self.hits
+        self._snap_misses = self.misses
+
+    @property
+    def measured_accesses(self) -> int:
+        """Accesses since the warm-up snapshot."""
+        return self.accesses - self._snap_accesses
+
+    @property
+    def measured_hits(self) -> int:
+        """Hits since the warm-up snapshot."""
+        return self.hits - self._snap_hits
+
+    @property
+    def measured_misses(self) -> int:
+        """Misses since the warm-up snapshot."""
+        return self.misses - self._snap_misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss rate over the measured region (0.0 when unused)."""
+        n = self.measured_accesses
+        return self.measured_misses / n if n else 0.0
+
+    def mpki(self, instructions: int) -> float:
+        """Misses per kilo-instruction over the measured region."""
+        return 1000.0 * self.measured_misses / instructions if instructions else 0.0

@@ -1,0 +1,32 @@
+"""Virtual-memory substrate: addressing, page table, TLBs, PSCs, walker."""
+
+from repro.vm.address import (
+    LINE_BYTES,
+    PAGE_2M_SHIFT,
+    PAGE_4K_SHIFT,
+    crosses_page,
+    line_addr,
+    line_offset,
+    same_page,
+)
+from repro.vm.page_table import LargePagePolicy, PageTable, Translation
+from repro.vm.psc import SplitPsc
+from repro.vm.tlb import Tlb
+from repro.vm.walker import PageWalker, WalkResult
+
+__all__ = [
+    "LINE_BYTES",
+    "PAGE_2M_SHIFT",
+    "PAGE_4K_SHIFT",
+    "crosses_page",
+    "line_addr",
+    "line_offset",
+    "same_page",
+    "LargePagePolicy",
+    "PageTable",
+    "Translation",
+    "SplitPsc",
+    "Tlb",
+    "PageWalker",
+    "WalkResult",
+]

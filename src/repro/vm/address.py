@@ -1,0 +1,88 @@
+"""Virtual/physical address arithmetic and page geometry.
+
+All addresses are plain Python ints.  The simulated machine uses a 48-bit
+virtual address space with a 5-level radix page table (9 index bits per
+level, 12-bit page offset), matching the paper's "5-level radix tree page
+table" with optional 2MB large pages (translation stops at the PMD level).
+"""
+
+from __future__ import annotations
+
+LINE_BYTES = 64
+LINE_SHIFT = 6
+
+PAGE_4K_SHIFT = 12
+PAGE_4K_BYTES = 1 << PAGE_4K_SHIFT
+PAGE_2M_SHIFT = 21
+PAGE_2M_BYTES = 1 << PAGE_2M_SHIFT
+
+#: cache lines per 4KB page
+LINES_PER_PAGE_4K = PAGE_4K_BYTES // LINE_BYTES
+
+VA_BITS = 48
+#: page-table levels, outermost (root) first.  Level 1 holds 4KB PTEs,
+#: level 2 holds PMDs (2MB mappings stop here).
+PT_LEVELS = (5, 4, 3, 2, 1)
+PT_INDEX_BITS = 9
+PTE_BYTES = 8
+
+
+def line_addr(addr: int) -> int:
+    """Cache-line address (addr with the low 6 offset bits dropped)."""
+    return addr >> LINE_SHIFT
+
+
+def line_base(addr: int) -> int:
+    """Byte address of the first byte of addr's cache line."""
+    return addr & ~(LINE_BYTES - 1)
+
+
+def line_offset(addr: int) -> int:
+    """Cache-line index within a 4KB page (0..63)."""
+    return (addr >> LINE_SHIFT) & (LINES_PER_PAGE_4K - 1)
+
+
+def vpn(addr: int, page_shift: int = PAGE_4K_SHIFT) -> int:
+    """Virtual page number for the given page size."""
+    return addr >> page_shift
+
+
+def page_offset(addr: int, page_shift: int = PAGE_4K_SHIFT) -> int:
+    """Byte offset of `addr` within its page."""
+    return addr & ((1 << page_shift) - 1)
+
+
+def same_page(a: int, b: int, page_shift: int = PAGE_4K_SHIFT) -> bool:
+    """True when two virtual addresses fall within the same page."""
+    return (a >> page_shift) == (b >> page_shift)
+
+
+def crosses_page(trigger: int, target: int, page_shift: int = PAGE_4K_SHIFT) -> bool:
+    """True when a prefetch `target` lies outside the `trigger`'s page.
+
+    This is the page-cross test of Figure 1 / step A of Figure 5: the
+    prefetch request crosses a page boundary iff the prefetched block's
+    page differs from the demand access's page.
+    """
+    return (trigger >> page_shift) != (target >> page_shift)
+
+
+def pt_index(vaddr: int, level: int) -> int:
+    """Radix index used at the given page-table level (1..5)."""
+    shift = PAGE_4K_SHIFT + PT_INDEX_BITS * (level - 1)
+    return (vaddr >> shift) & ((1 << PT_INDEX_BITS) - 1)
+
+
+def pt_tag(vaddr: int, level: int) -> int:
+    """Tag identifying the page-table *node* consulted at `level`.
+
+    Two virtual addresses share the level-k node iff all radix indices
+    above level k match, i.e. iff the VA bits above that node's reach agree.
+    """
+    shift = PAGE_4K_SHIFT + PT_INDEX_BITS * level
+    return vaddr >> shift
+
+
+def canonical(addr: int) -> int:
+    """Clamp an address to the 48-bit simulated virtual address space."""
+    return addr & ((1 << VA_BITS) - 1)

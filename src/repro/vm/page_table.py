@@ -1,0 +1,161 @@
+"""Five-level radix page table with demand allocation and 2MB large pages.
+
+The page table serves two roles in the simulation:
+
+* it is the authoritative VA -> PA mapping (frames are allocated on first
+  touch, with a bijective scramble so that virtually-contiguous pages are
+  *not* physically contiguous — the property that makes page-cross
+  prefetching in the virtual address space interesting, cf. Section II-A);
+* it exposes the physical addresses of the page-table nodes themselves so
+  the hardware walker can model per-level PTE reads through the cache
+  hierarchy (walk locality: 8 PTEs share a 64-byte line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.vm import address as addr
+
+#: odd multiplier -> bijection over any power-of-two frame space
+_SCRAMBLE = 0x9E3779B1
+#: number of 4KB frames reachable by the scrambler (128 GB of simulated PA)
+_FRAME_BITS = 25
+_FRAME_MASK = (1 << _FRAME_BITS) - 1
+#: 2MB frames live above the 4KB frame region so the two never alias
+_LARGE_REGION_BIT = 1 << (_FRAME_BITS - 9)  # in units of 2MB frames
+
+
+@dataclass(frozen=True)
+class Translation:
+    """Result of translating a virtual address."""
+
+    vpn: int
+    pfn: int
+    page_shift: int
+
+    @property
+    def page_bytes(self) -> int:
+        """Size of the mapped page in bytes."""
+        return 1 << self.page_shift
+
+    def physical(self, vaddr: int) -> int:
+        """Physical byte address for a vaddr inside this translation's page."""
+        return (self.pfn << self.page_shift) | (vaddr & (self.page_bytes - 1))
+
+
+class LargePagePolicy:
+    """Decides which 2MB-aligned virtual regions are backed by 2MB frames.
+
+    The paper's large-page evaluation (Section V-B6) uses a system with a mix
+    of 4KB and 2MB pages.  We model the OS allocator as a deterministic
+    per-region coin flip with a configurable eligible fraction.
+    """
+
+    def __init__(self, fraction: float = 0.0, seed: int = 0):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0,1], got {fraction}")
+        self.fraction = fraction
+        self.seed = seed
+
+    def is_large(self, vaddr: int) -> bool:
+        """Whether `vaddr`'s 2MB-aligned region is backed by a 2MB frame."""
+        if self.fraction <= 0.0:
+            return False
+        if self.fraction >= 1.0:
+            return True
+        region = vaddr >> addr.PAGE_2M_SHIFT
+        h = (region * 0x2545F4914F6CDD1D + self.seed * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        return (h >> 40) % 1000 < self.fraction * 1000
+
+
+class PageTable:
+    """Per-process 5-level radix page table with on-demand frame allocation."""
+
+    def __init__(self, asid: int = 0, large_pages: Optional[LargePagePolicy] = None):
+        self.asid = asid
+        self.large_pages = large_pages or LargePagePolicy(0.0)
+        self._map_4k: dict[int, int] = {}
+        self._map_2m: dict[int, int] = {}
+        #: (level, tag) -> physical page number holding that page-table node
+        self._nodes: dict[tuple[int, int], int] = {}
+        self._next_frame = 1  # frame 0 reserved so PA 0 never appears
+        self._next_large_frame = 1
+        self._next_node_frame = 1
+
+    # -- frame allocation ----------------------------------------------------
+
+    def _alloc_frame(self) -> int:
+        # the asid offset keeps frames of different processes disjoint-ish so
+        # multi-core mixes don't falsely share LLC lines
+        pfn = ((self._next_frame + self.asid * 0x40011) * _SCRAMBLE) & _FRAME_MASK
+        self._next_frame += 1
+        return pfn
+
+    def _alloc_large_frame(self) -> int:
+        idx = self._next_large_frame + self.asid * 0x101
+        pfn2m = ((idx * _SCRAMBLE) & (_LARGE_REGION_BIT - 1)) | _LARGE_REGION_BIT
+        self._next_large_frame += 1
+        return pfn2m
+
+    def _alloc_node_frame(self) -> int:
+        # Page-table nodes come from their own arena (top of the PA space) so
+        # PTE lines never alias data lines.
+        idx = self._next_node_frame + self.asid * 0x40011
+        pfn = ((idx * _SCRAMBLE) & _FRAME_MASK) | (1 << _FRAME_BITS)
+        self._next_node_frame += 1
+        return pfn
+
+    # -- translation ---------------------------------------------------------
+
+    def translate(self, vaddr: int) -> Translation:
+        """Translate, allocating the backing frame on first touch."""
+        vaddr = addr.canonical(vaddr)
+        if self.large_pages.is_large(vaddr):
+            vpn2m = vaddr >> addr.PAGE_2M_SHIFT
+            pfn = self._map_2m.get(vpn2m)
+            if pfn is None:
+                pfn = self._alloc_large_frame()
+                self._map_2m[vpn2m] = pfn
+            return Translation(vpn2m, pfn, addr.PAGE_2M_SHIFT)
+        vpn4k = vaddr >> addr.PAGE_4K_SHIFT
+        pfn = self._map_4k.get(vpn4k)
+        if pfn is None:
+            pfn = self._alloc_frame()
+            self._map_4k[vpn4k] = pfn
+        return Translation(vpn4k, pfn, addr.PAGE_4K_SHIFT)
+
+    def physical(self, vaddr: int) -> int:
+        """Convenience: full VA -> PA byte translation."""
+        return self.translate(vaddr).physical(vaddr)
+
+    def leaf_level(self, vaddr: int) -> int:
+        """Page-table level holding the leaf PTE (1 for 4KB, 2 for 2MB)."""
+        return 2 if self.large_pages.is_large(vaddr) else 1
+
+    # -- walker support ------------------------------------------------------
+
+    def node_frame(self, vaddr: int, level: int) -> int:
+        """Physical frame of the page-table node consulted at `level`."""
+        key = (level, addr.pt_tag(vaddr, level))
+        pfn = self._nodes.get(key)
+        if pfn is None:
+            pfn = self._alloc_node_frame()
+            self._nodes[key] = pfn
+        return pfn
+
+    def pte_address(self, vaddr: int, level: int) -> int:
+        """Physical byte address of the PTE read at `level` during a walk."""
+        frame = self.node_frame(vaddr, level)
+        return (frame << addr.PAGE_4K_SHIFT) | (addr.pt_index(vaddr, level) * addr.PTE_BYTES)
+
+    @property
+    def mapped_4k_pages(self) -> int:
+        """Count of 4KB pages allocated so far."""
+        return len(self._map_4k)
+
+    @property
+    def mapped_2m_pages(self) -> int:
+        """Count of 2MB pages allocated so far."""
+        return len(self._map_2m)

@@ -1,0 +1,89 @@
+"""Split Page-Structure Caches (PSCs).
+
+One small fully-associative LRU cache per upper page-table level (L5/L4/L3/L2,
+sized 1/2/8/32 per Table IV).  A PSC entry at level *k* records that the
+walker already knows the page-table node consulted at level *k-1* for the
+covered VA region, so the walk can skip reading levels >= k and start its
+memory reads at level k-1.
+"""
+
+from __future__ import annotations
+
+from repro.params import PscParams
+from repro.stats import HitMissStats
+from repro.vm.address import pt_tag
+
+
+class PageStructureCache:
+    """One per-level PSC (fully associative, LRU).
+
+    A level-k entry caches the pointer to one level-(k-1) node, so its tag
+    is that node's identity: ``pt_tag(vaddr, k-1)``.  The entry's reach is
+    therefore the node's reach (2MB for the L2 PSC, 1GB for L3, ...).
+    """
+
+    def __init__(self, level: int, entries: int):
+        self.level = level
+        self._tag_level = level - 1
+        self.entries = entries
+        self._store: dict[int, int] = {}  # tag -> lru tick
+        self._tick = 0
+        self.stats = HitMissStats()
+
+    def lookup(self, vaddr: int) -> bool:
+        """Probe for the node covering `vaddr`; updates LRU and stats."""
+        self._tick += 1
+        tag = pt_tag(vaddr, self._tag_level)
+        hit = tag in self._store
+        self.stats.record(hit)
+        if hit:
+            self._store[tag] = self._tick
+        return hit
+
+    def insert(self, vaddr: int) -> None:
+        """Record the node covering `vaddr`, evicting LRU if full."""
+        self._tick += 1
+        tag = pt_tag(vaddr, self._tag_level)
+        if tag not in self._store and len(self._store) >= self.entries:
+            victim = min(self._store, key=self._store.get)
+            del self._store[victim]
+        self._store[tag] = self._tick
+
+
+class SplitPsc:
+    """The four split PSCs searched in parallel (1-cycle latency)."""
+
+    def __init__(self, params: PscParams):
+        self.params = params
+        self.latency = params.latency
+        self.levels = {
+            level: PageStructureCache(level, params.entries_for_level(level))
+            for level in (2, 3, 4, 5)
+        }
+
+    def best_hit_level(self, vaddr: int) -> int | None:
+        """Lowest level (closest to the leaf) whose PSC covers `vaddr`.
+
+        Probed lowest-first; a hit at level k lets the walk start its memory
+        reads at level k-1.  Returns None on a full miss.
+        """
+        best = None
+        for level in (2, 3, 4, 5):
+            if self.levels[level].lookup(vaddr):
+                if best is None:
+                    best = level
+        return best
+
+    def fill(self, vaddr: int, read_level: int) -> None:
+        """Record knowledge gained by reading a non-leaf PTE at `read_level`.
+
+        Reading the level-k entry reveals the level-(k-1) node pointer, which
+        is exactly what a level-k PSC entry caches.
+        """
+        if read_level in self.levels:
+            self.levels[read_level].insert(vaddr)
+
+    def snapshot(self) -> None:
+        """Mark the warm-up boundary on all levels' statistics."""
+        for psc in self.levels.values():
+            psc.stats.snapshot()

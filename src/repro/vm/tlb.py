@@ -1,0 +1,82 @@
+"""Set-associative TLBs (dTLB, iTLB, sTLB) with mixed 4KB/2MB entries.
+
+Entries for both page sizes compete for ways within the same physical sets
+(set index is taken from the low bits of the respective VPN).  Replacement is
+LRU, matching Table IV.  Translations inserted by speculative page walks for
+page-cross prefetches are tagged so experiments can attribute TLB pollution
+and TLB-warming benefits to prefetching.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.params import TlbParams
+from repro.stats import HitMissStats
+from repro.vm.address import PAGE_4K_SHIFT, PAGE_2M_SHIFT
+from repro.vm.page_table import Translation
+
+
+class Tlb:
+    """One TLB level."""
+
+    def __init__(self, params: TlbParams):
+        self.params = params
+        self.latency = params.latency
+        self._set_mask = params.sets - 1
+        self._ways = params.ways
+        # set index -> {(vpn, page_shift): [pfn, lru_tick, from_prefetch]}
+        self._sets: list[dict[tuple[int, int], list]] = [dict() for _ in range(params.sets)]
+        self._tick = 0
+        self.stats = HitMissStats()
+        #: demand hits on entries installed by page-cross prefetch walks
+        self.prefetch_hits = 0
+        #: prefetched entries evicted without ever serving a demand access
+        self.prefetch_evicted_unused = 0
+
+    def lookup(self, vaddr: int, *, speculative: bool = False) -> Optional[Translation]:
+        """Probe for a translation.  Speculative probes don't perturb stats/LRU."""
+        self._tick += 1
+        for shift in (PAGE_4K_SHIFT, PAGE_2M_SHIFT):
+            vpn = vaddr >> shift
+            entry = self._sets[vpn & self._set_mask].get((vpn, shift))
+            if entry is not None:
+                if not speculative:
+                    self.stats.record(True)
+                    entry[1] = self._tick
+                    if entry[2]:
+                        self.prefetch_hits += 1
+                        entry[2] = False
+                return Translation(vpn, entry[0], shift)
+        if not speculative:
+            self.stats.record(False)
+        return None
+
+    def insert(self, translation: Translation, *, from_prefetch: bool = False) -> None:
+        """Install a translation, evicting the set's LRU entry if full."""
+        self._tick += 1
+        key = (translation.vpn, translation.page_shift)
+        tset = self._sets[translation.vpn & self._set_mask]
+        existing = tset.get(key)
+        if existing is not None:
+            existing[1] = self._tick
+            return
+        if len(tset) >= self._ways:
+            victim_key = min(tset, key=lambda k: tset[k][1])
+            victim = tset.pop(victim_key)
+            if victim[2]:
+                self.prefetch_evicted_unused += 1
+        tset[key] = [translation.pfn, self._tick, from_prefetch]
+
+    def flush(self) -> None:
+        """Drop every entry (context-switch style)."""
+        for tset in self._sets:
+            tset.clear()
+
+    def occupancy(self) -> int:
+        """Number of valid entries currently held."""
+        return sum(len(tset) for tset in self._sets)
+
+    def snapshot(self) -> None:
+        """Mark the warm-up boundary for the demand statistics."""
+        self.stats.snapshot()

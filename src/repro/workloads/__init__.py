@@ -1,0 +1,48 @@
+"""Workload substrate: trace format, pattern primitives, suites, registry."""
+
+from repro.workloads.registry import (
+    by_name,
+    make_mixes,
+    motivation_workloads,
+    non_intensive_workloads,
+    seen_workloads,
+    stratified_sample,
+    unseen_workloads,
+)
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.trace import BRANCH, DEPENDS, LOAD, MISPREDICT, STORE, TAKEN, Record, Workload
+from repro.workloads.trace_io import (
+    ChampsimWorkload,
+    FileWorkload,
+    convert_champsim,
+    read_champsim,
+    read_trace,
+    snapshot_workload,
+    write_trace,
+)
+
+__all__ = [
+    "by_name",
+    "make_mixes",
+    "motivation_workloads",
+    "non_intensive_workloads",
+    "seen_workloads",
+    "stratified_sample",
+    "unseen_workloads",
+    "SyntheticWorkload",
+    "BRANCH",
+    "DEPENDS",
+    "LOAD",
+    "MISPREDICT",
+    "STORE",
+    "TAKEN",
+    "Record",
+    "Workload",
+    "ChampsimWorkload",
+    "FileWorkload",
+    "convert_champsim",
+    "read_champsim",
+    "read_trace",
+    "snapshot_workload",
+    "write_trace",
+]

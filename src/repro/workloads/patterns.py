@@ -1,0 +1,247 @@
+"""Memory access-pattern primitives for synthetic workload generation.
+
+Each pattern emits (virtual address, depends-on-previous-load) pairs from a
+private virtual-address region.  The patterns span the behavioural axes that
+separate the paper's workloads:
+
+* :class:`Stream` — virtually-contiguous streaming; page-cross prefetches
+  land exactly where the stream goes next (the *friendly* case: astar,
+  cc.road, MIS, vips in Figure 2);
+* :class:`PageTiled` — sequential within a page, then a jump to an unrelated
+  page; prefetchers confidently predict across the page edge and are wrong
+  (the *hostile* case: sphinx3, fotonik3d_s, bc.web, pr.web);
+* :class:`Strided` — large constant strides that cross pages frequently;
+* :class:`PointerChase` — dependent random accesses (mcf-like; serialises);
+* :class:`Gather` — independent random accesses (low prefetchability);
+* :class:`GraphCsr` — CSR traversal: an offsets stream interleaved with
+  neighbour gathers whose locality is set by the graph flavour (road/web/
+  twitter/urand/kron).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.vm.address import LINE_SHIFT, LINES_PER_PAGE_4K
+
+#: spacing between pattern regions (1 GB of VA each)
+REGION_BYTES = 1 << 30
+
+
+class Pattern:
+    """Base: a stateful address generator inside its own VA region."""
+
+    def __init__(self, region: int):
+        self.base = region * REGION_BYTES + (1 << 40)
+
+    def next_access(self, rng: random.Random) -> tuple[int, bool, int]:
+        """Return (vaddr, depends_on_previous_load, stream_id).
+
+        ``stream_id`` distinguishes logical instruction streams inside one
+        pattern (e.g. a CSR traversal's offsets stream vs its neighbour
+        gathers) so the workload can give them distinct load PCs.
+        """
+        raise NotImplementedError
+
+    def _line_to_vaddr(self, line_index: int) -> int:
+        return self.base + (line_index << LINE_SHIFT)
+
+
+class Stream(Pattern):
+    """Sequential streaming at a fixed line stride over a large footprint."""
+
+    def __init__(self, region: int, *, stride_lines: int = 1, footprint_pages: int = 4096):
+        super().__init__(region)
+        self.stride = stride_lines
+        self.limit = footprint_pages * LINES_PER_PAGE_4K
+        self._pos = 0
+
+    def next_access(self, rng: random.Random) -> tuple[int, bool, int]:
+        self._pos = (self._pos + self.stride) % self.limit
+        return self._line_to_vaddr(self._pos), False, 0
+
+
+class Strided(Pattern):
+    """Constant large stride (row-major matrix walks); crosses pages often."""
+
+    def __init__(self, region: int, *, stride_lines: int = 80, footprint_pages: int = 8192):
+        super().__init__(region)
+        self.stride = stride_lines
+        self.limit = footprint_pages * LINES_PER_PAGE_4K
+        self._pos = 0
+
+    def next_access(self, rng: random.Random) -> tuple[int, bool, int]:
+        self._pos = (self._pos + self.stride) % self.limit
+        return self._line_to_vaddr(self._pos), False, 0
+
+
+class PageTiled(Pattern):
+    """Sequential bursts inside a page, then a jump to a random page.
+
+    The in-page part trains delta prefetchers; the jump makes their
+    page-cross extrapolation wrong nearly every time.
+    """
+
+    def __init__(
+        self,
+        region: int,
+        *,
+        footprint_pages: int = 4096,
+        burst_lines: int = 48,
+        start_offset_jitter: int = 8,
+    ):
+        super().__init__(region)
+        self.footprint_pages = footprint_pages
+        self.burst_lines = burst_lines
+        self.jitter = start_offset_jitter
+        self._page = 0
+        self._offset = 0
+        self._remaining = 0
+
+    def next_access(self, rng: random.Random) -> tuple[int, bool, int]:
+        if self._remaining <= 0:
+            self._page = rng.randrange(self.footprint_pages)
+            # bursts run up to the page edge, so the delta a prefetcher
+            # learns in-page extrapolates into the (randomly chosen) next
+            # page — the maximally hostile shape
+            start = LINES_PER_PAGE_4K - self.burst_lines - rng.randrange(self.jitter + 1)
+            self._offset = max(0, start)
+            self._remaining = self.burst_lines
+        line = self._page * LINES_PER_PAGE_4K + min(self._offset, LINES_PER_PAGE_4K - 1)
+        self._offset += 1
+        self._remaining -= 1
+        return self._line_to_vaddr(line), False, 0
+
+
+class PointerChase(Pattern):
+    """Dependent chain of pseudo-random accesses (linked-list traversal)."""
+
+    def __init__(self, region: int, *, footprint_pages: int = 8192):
+        super().__init__(region)
+        self.limit = footprint_pages * LINES_PER_PAGE_4K
+        self._pos = 1
+
+    def next_access(self, rng: random.Random) -> tuple[int, bool, int]:
+        # multiplicative congruential step: deterministic chain, uniform spread
+        self._pos = (self._pos * 48271 + 11) % self.limit
+        return self._line_to_vaddr(self._pos), True, 0
+
+
+class Gather(Pattern):
+    """Independent uniform-random accesses (sparse gathers)."""
+
+    def __init__(self, region: int, *, footprint_pages: int = 8192):
+        super().__init__(region)
+        self.limit = footprint_pages * LINES_PER_PAGE_4K
+
+    def next_access(self, rng: random.Random) -> tuple[int, bool, int]:
+        return self._line_to_vaddr(rng.randrange(self.limit)), False, 0
+
+
+class Alternating(Pattern):
+    """Same load PCs, phase-dependent page-cross usefulness.
+
+    Alternates between a sequential stream (page-cross friendly) and
+    page-tiled bursts over random pages (hostile), *within one pattern*, so
+    the two behaviours share load PCs and virtual region.  Program features
+    built on PC/VA cannot separate the phases — only the prefetch delta and
+    the system state can, which is the regime DRIPPER's feature choice
+    (Table II) targets and PPF's does not.
+    """
+
+    def __init__(
+        self,
+        region: int,
+        *,
+        footprint_pages: int = 4096,
+        period: int = 2_000,
+        burst_lines: int = 48,
+        stream_stride: int = 40,
+    ):
+        super().__init__(region)
+        self.footprint_pages = footprint_pages
+        self.period = period
+        self.burst_lines = burst_lines
+        #: large stride in the friendly phase -> its deltas are far from the
+        #: hostile phase's small in-burst deltas, so a per-delta weight can
+        #: separate what a per-PC weight cannot
+        self.stream_stride = stream_stride
+        self._count = 0
+        self._pos = 0
+        self._page = 0
+        self._offset = 0
+        self._remaining = 0
+
+    def next_access(self, rng: random.Random) -> tuple[int, bool, int]:
+        self._count += 1
+        limit = self.footprint_pages * LINES_PER_PAGE_4K
+        if (self._count // self.period) % 2 == 0:
+            # friendly phase: large-stride stream
+            self._pos = (self._pos + self.stream_stride) % limit
+            return self._line_to_vaddr(self._pos), False, 0
+        # hostile phase: page-edge bursts over random pages
+        if self._remaining <= 0:
+            self._page = rng.randrange(self.footprint_pages)
+            self._offset = max(0, LINES_PER_PAGE_4K - self.burst_lines)
+            self._remaining = self.burst_lines
+        line = self._page * LINES_PER_PAGE_4K + min(self._offset, LINES_PER_PAGE_4K - 1)
+        self._offset += 1
+        self._remaining -= 1
+        return self._line_to_vaddr(line), False, 0
+
+
+class GraphCsr(Pattern):
+    """CSR graph traversal: offsets stream + neighbour gathers.
+
+    ``locality`` sets how far neighbour ids stray from the current node:
+    road networks keep neighbours close (page-cross prefetching of the
+    property array works), web/social graphs scatter them (it doesn't).
+    """
+
+    FLAVOURS = {
+        # (locality_lines, zipf_hub_fraction, mean_degree, sequential_offsets)
+        # road/urand: topological node order ~= memory order, the offsets
+        # stream walks pages in order (page-cross friendly).  web/twitter/
+        # kron: frontier-driven traversal visits offset pages out of order
+        # (sequential inside a page, random page next -> hostile).
+        "road": (96, 0.0, 3, True),
+        "web": (0, 0.35, 8, False),
+        "twitter": (0, 0.50, 12, False),
+        "urand": (0, 0.0, 6, True),
+        "kron": (0, 0.45, 10, False),
+    }
+
+    def __init__(self, region: int, *, flavour: str = "road", nodes_pages: int = 4096):
+        super().__init__(region)
+        if flavour not in self.FLAVOURS:
+            raise KeyError(f"unknown graph flavour {flavour!r}; known: {sorted(self.FLAVOURS)}")
+        self.flavour = flavour
+        (self.locality, self.hub_fraction, self.mean_degree,
+         self.sequential_offsets) = self.FLAVOURS[flavour]
+        self.prop_lines = nodes_pages * LINES_PER_PAGE_4K
+        #: the offsets/edges arrays live in the upper half of the region
+        self._edge_base = self.prop_lines * 2
+        self._node_line = 0
+        self._burst = 0
+
+    def next_access(self, rng: random.Random) -> tuple[int, bool, int]:
+        if self._burst <= 0:
+            # advance the offsets/edges stream by one line (stream 0)
+            if self.sequential_offsets or self._node_line % LINES_PER_PAGE_4K != 0:
+                self._node_line = (self._node_line + 1) % self.prop_lines
+            else:
+                # frontier jump: continue the offsets walk in a random page
+                page = rng.randrange(self.prop_lines // LINES_PER_PAGE_4K)
+                self._node_line = page * LINES_PER_PAGE_4K + 1
+            self._burst = max(1, int(rng.expovariate(1.0 / self.mean_degree)))
+            return self._line_to_vaddr(self._edge_base + self._node_line), False, 0
+        self._burst -= 1
+        if self.hub_fraction and rng.random() < self.hub_fraction:
+            # hub access: hot set stays cache-resident
+            neighbour = rng.randrange(256)
+        elif self.locality:
+            span = 2 * self.locality + 1
+            neighbour = (self._node_line + rng.randrange(span) - self.locality) % self.prop_lines
+        else:
+            neighbour = rng.randrange(self.prop_lines)
+        return self._line_to_vaddr(neighbour), False, 1

@@ -1,0 +1,132 @@
+"""Synthetic workload assembly: phases, intensity, code footprint, branches.
+
+A :class:`SyntheticWorkload` stitches pattern phases into an infinite,
+deterministic trace.  Knobs:
+
+* ``phases`` — list of (pattern factory, phase length in instructions); the
+  list cycles forever, which is how phase-changing behaviour (exercising the
+  adaptive thresholding scheme) is produced;
+* ``mean_gap`` — average non-memory instructions per memory instruction
+  (memory intensity: small gap = intensive, large gap = non-intensive);
+* ``store_fraction`` — fraction of memory records that are stores;
+* ``code_lines`` — instruction-footprint in cache lines; the PC walks a loop
+  of this size, so large values create L1I pressure (the adaptive scheme's
+  L1I-MPKI heuristic);
+* ``mispredict_rate`` — probability a record carries a *forced* mispredict
+  (legacy knob, kept for workloads without a branch profile);
+* ``branch_profile`` — when set, every record carries a conditional branch
+  whose direction follows the profile and is predicted by the core's hashed
+  perceptron predictor: ``("loop", k)`` (taken k-1 of k, classic loop
+  back-edge), ``("biased", p)`` (independently taken with probability p),
+  ``("mixed", k, p)`` (loop back-edges interleaved with data-dependent
+  biased branches).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator
+
+from repro.vm.address import LINE_SHIFT
+from repro.workloads.patterns import Pattern
+from repro.workloads.trace import BRANCH, DEPENDS, LOAD, MISPREDICT, STORE, TAKEN, Record
+
+#: code region base (separate from all data regions)
+_CODE_BASE = 1 << 36
+
+PatternFactory = Callable[[], Pattern]
+
+
+class SyntheticWorkload:
+    """A deterministic, restartable synthetic trace."""
+
+    def __init__(
+        self,
+        name: str,
+        suite: str,
+        seed: int,
+        phases: list[tuple[PatternFactory, int]],
+        *,
+        mean_gap: float = 3.0,
+        store_fraction: float = 0.12,
+        code_lines: int = 48,
+        mispredict_rate: float = 0.004,
+        branch_profile: tuple | None = None,
+        pcs_per_pattern: int = 4,
+    ):
+        if not phases:
+            raise ValueError("a workload needs at least one phase")
+        if branch_profile is not None and branch_profile[0] not in ("loop", "biased", "mixed"):
+            raise ValueError(f"unknown branch profile {branch_profile!r}")
+        self.name = name
+        self.suite = suite
+        self.seed = seed
+        self.phases = phases
+        self.mean_gap = mean_gap
+        self.store_fraction = store_fraction
+        self.code_lines = code_lines
+        self.mispredict_rate = mispredict_rate
+        self.branch_profile = branch_profile
+        self.pcs_per_pattern = pcs_per_pattern
+
+    def generate(self) -> Iterator[Record]:
+        """Yield the trace (identical sequence on every call)."""
+        rng = random.Random(self.seed)
+        patterns = [factory() for factory, _ in self.phases]
+        lengths = [length for _, length in self.phases]
+        # Load PCs are *stable* per phase (per-IP prefetcher state depends on
+        # it) and spread across the code footprint so that walking them
+        # exercises the L1I proportionally to ``code_lines``.
+        spacing = max(1, self.code_lines // max(1, self.pcs_per_pattern))
+        pc_sets = [
+            [
+                _CODE_BASE
+                + (i << 24)
+                + ((j * spacing % max(1, self.code_lines)) << LINE_SHIFT)
+                + 4 * j
+                for j in range(self.pcs_per_pattern)
+            ]
+            for i in range(len(patterns))
+        ]
+        gap_hi = max(1, int(2 * self.mean_gap))
+        profile = self.branch_profile
+        loop_counter = 0
+        phase_idx = 0
+        instructions_in_phase = 0
+        while True:
+            pattern = patterns[phase_idx]
+            pcs = pc_sets[phase_idx]
+            vaddr, depends, stream_id = pattern.next_access(rng)
+            gap = rng.randrange(gap_hi + 1) if gap_hi else 0
+            flags = STORE if rng.random() < self.store_fraction else LOAD
+            if depends:
+                flags |= DEPENDS
+            if profile is not None:
+                if profile[0] == "loop":
+                    loop_counter += 1
+                    taken = loop_counter % profile[1] != 0
+                elif profile[0] == "biased":
+                    taken = rng.random() < profile[1]
+                else:  # mixed: loop back-edge or data-dependent branch
+                    if rng.random() < 0.7:
+                        loop_counter += 1
+                        taken = loop_counter % profile[1] != 0
+                    else:
+                        taken = rng.random() < profile[2]
+                flags |= BRANCH | (TAKEN if taken else 0)
+            elif rng.random() < self.mispredict_rate:
+                flags |= MISPREDICT
+            # separate PC groups per logical stream, unrolled within a group
+            half = max(1, len(pcs) // 2)
+            if stream_id == 0:
+                pc = pcs[(vaddr >> LINE_SHIFT) % half]
+            else:
+                pc = pcs[half + (vaddr >> LINE_SHIFT) % (len(pcs) - half)]
+            yield pc, vaddr, flags, gap
+            instructions_in_phase += 1 + gap
+            if instructions_in_phase >= lengths[phase_idx]:
+                instructions_in_phase = 0
+                phase_idx = (phase_idx + 1) % len(patterns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SyntheticWorkload({self.name!r}, suite={self.suite!r}, seed={self.seed})"

@@ -1,0 +1,87 @@
+"""DRIPPER prototypes: Table II features and Table III storage."""
+
+import pytest
+
+from repro.core.dripper import (
+    DRIPPER_FEATURES,
+    dripper_config,
+    make_dripper,
+    make_dripper_sf,
+    storage_breakdown_bits,
+    storage_overhead_kib,
+)
+
+
+class TestTableII:
+    def test_berti_uses_delta(self):
+        program, system = DRIPPER_FEATURES["berti"]
+        assert program == "Delta"
+        assert system == ("sTLB MPKI", "sTLB Miss Rate")
+
+    def test_bop_and_ipcp_use_pc_xor_delta(self):
+        for prefetcher in ("bop", "ipcp"):
+            program, system = DRIPPER_FEATURES[prefetcher]
+            assert program == "PC^Delta"
+            assert system == ("sTLB MPKI", "sTLB Miss Rate")
+
+    def test_instances_wired_accordingly(self):
+        d = make_dripper("berti")
+        assert [f.name for f in d.features] == ["Delta"]
+        assert sorted(d.sys_weights) == ["sTLB MPKI", "sTLB Miss Rate"]
+
+    def test_case_insensitive(self):
+        assert make_dripper("Berti").name == "dripper[berti]"
+
+    def test_unknown_prefetcher_raises(self):
+        with pytest.raises(KeyError, match="no DRIPPER prototype"):
+            make_dripper("spp")
+
+    def test_adaptive_thresholding_enabled(self):
+        from repro.core.thresholds import AdaptiveThreshold
+
+        assert isinstance(make_dripper("berti").threshold, AdaptiveThreshold)
+
+
+class TestTableIII:
+    def test_storage_overhead_order_of_table_iii(self):
+        """Table III reports 1.44KB; our literal accounting of the same
+        structures (512x5b weights + 2x5b system weights + 4- and 128-entry
+        48-bit buffers) is ~1.1 KiB."""
+        kib = storage_overhead_kib("berti")
+        assert 1.0 <= kib <= 1.5
+
+    def test_same_budget_for_all_prefetchers(self):
+        budgets = {storage_overhead_kib(p) for p in ("berti", "bop", "ipcp")}
+        assert len(budgets) == 1
+
+    def test_breakdown_matches_table_rows(self):
+        bits = storage_breakdown_bits()
+        assert bits["program_feature_tables"] == 512 * 5
+        assert bits["system_feature_weights"] == 2 * 5
+        assert bits["vub"] == 4 * 48
+        assert bits["pub"] == 128 * 48
+
+
+class TestDripperSf:
+    def test_no_program_features(self):
+        sf = make_dripper_sf("berti")
+        assert not sf.features
+        assert sorted(sf.sys_weights) == ["sTLB MPKI", "sTLB Miss Rate"]
+
+    def test_config_copies_geometry(self):
+        base = dripper_config("berti")
+        sf = make_dripper_sf("berti")
+        assert sf.config.pub_entries == base.pub_entries
+        assert sf.config.vub_entries == base.vub_entries
+
+
+class TestBertiTimelyAlias:
+    def test_berti_timely_shares_berti_features(self):
+        from repro.core.dripper import DRIPPER_FEATURES
+
+        assert DRIPPER_FEATURES["berti-timely"] == DRIPPER_FEATURES["berti"]
+
+    def test_make_dripper_accepts_alias(self):
+        d = make_dripper("berti-timely")
+        assert [f.name for f in d.features] == ["Delta"]
+        assert d.name == "dripper[berti-timely]"

@@ -1,0 +1,136 @@
+"""Program feature library: the Table I set and the 55-feature space."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.context import FeatureContext, PrefetchRequest
+from repro.core.features import FEATURES, TABLE_I_FEATURES, fold_hash, get_feature
+
+import pytest
+
+
+def ctx_with(pc=0x400100, vaddr=0x7F001234, history=()):
+    ctx = FeatureContext()
+    for hpc, hva in history:
+        ctx.update(hpc, hva)
+    ctx.update(pc, vaddr)
+    return ctx
+
+
+REQ = PrefetchRequest(vaddr=0x7F002000, pc=0x400100, delta=70)
+
+
+class TestRegistry:
+    def test_exactly_55_features(self):
+        """Section III-D1: 'In total, MOKA contains 55 program features'."""
+        assert len(FEATURES) == 55
+
+    def test_table_i_has_19_program_features(self):
+        assert len(TABLE_I_FEATURES) == 19
+
+    def test_table_i_features_flagged(self):
+        for name in TABLE_I_FEATURES:
+            assert FEATURES[name].table_i
+
+    def test_delta_feature_present_for_dripper(self):
+        assert "Delta" in FEATURES
+        assert "PC^Delta" in FEATURES
+
+    def test_get_feature_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown program feature"):
+            get_feature("bogus")
+
+    def test_all_features_compute_ints(self):
+        ctx = ctx_with(history=[(0x400080, 0x7F000100), (0x400090, 0x7F000200)])
+        for feature in FEATURES.values():
+            value = feature.value(REQ, ctx)
+            assert isinstance(value, int), feature.name
+
+
+class TestSemantics:
+    def test_va_is_trigger_address(self):
+        ctx = ctx_with(vaddr=0xABCDE)
+        assert get_feature("VA").value(REQ, ctx) == 0xABCDE
+
+    def test_va_shifts(self):
+        ctx = ctx_with(vaddr=0xABCDE000)
+        assert get_feature("VA>>12").value(REQ, ctx) == 0xABCDE
+        assert get_feature("VA>>21").value(REQ, ctx) == 0xABCDE000 >> 21
+
+    def test_pc_is_request_pc(self):
+        ctx = ctx_with()
+        assert get_feature("PC").value(REQ, ctx) == REQ.pc
+
+    def test_cache_line_offset(self):
+        ctx = ctx_with(vaddr=0x7F000000 + 5 * 64)
+        assert get_feature("CacheLineOffset").value(REQ, ctx) == 5
+
+    def test_delta_feature_uses_request_delta(self):
+        ctx = ctx_with()
+        positive = PrefetchRequest(0, 0, 70)
+        negative = PrefetchRequest(0, 0, -70)
+        f = get_feature("Delta")
+        assert f.value(positive, ctx) != f.value(negative, ctx)
+
+    def test_pc_xor_delta(self):
+        ctx = ctx_with()
+        f = get_feature("PC^Delta")
+        assert f.value(REQ, ctx) == REQ.pc ^ (REQ.delta & 0xFFF)
+
+    def test_va_history_xor(self):
+        ctx = ctx_with(history=[(1, 0x111000), (2, 0x222000)])
+        f = get_feature("VA_i-2^VA_i-1^VA_i")
+        assert f.value(REQ, ctx) == 0x111000 ^ 0x222000 ^ ctx.last_vaddr
+
+    def test_first_page_access_changes_value(self):
+        f = get_feature("PC^FirstPageAccess")
+        fresh = ctx_with(vaddr=0x7F009000)
+        assert fresh.first_page_access
+        revisit = ctx_with(history=[(1, 0x7F009000)], vaddr=0x7F009040)
+        assert not revisit.first_page_access
+        assert f.value(REQ, fresh) != f.value(REQ, revisit)
+
+
+class TestHashing:
+    @given(st.integers(min_value=0, max_value=(1 << 60) - 1), st.integers(min_value=4, max_value=12))
+    def test_fold_hash_in_range(self, value, bits):
+        assert 0 <= fold_hash(value, bits) < (1 << bits)
+
+    def test_fold_hash_deterministic(self):
+        assert fold_hash(123456789, 9) == fold_hash(123456789, 9)
+
+    def test_fold_hash_spreads(self):
+        indexes = {fold_hash(i << 12, 9) for i in range(512)}
+        assert len(indexes) > 256
+
+    def test_index_uses_table_bits(self):
+        ctx = ctx_with()
+        idx = get_feature("PC").index(REQ, ctx, 9)
+        assert 0 <= idx < 512
+
+
+class TestFeatureContext:
+    def test_history_shifts(self):
+        ctx = FeatureContext()
+        for i in range(1, 5):
+            ctx.update(i, i * 0x1000)
+        assert ctx.pc_history == [4, 3, 2]
+        assert ctx.va_history == [0x4000, 0x3000, 0x2000]
+
+    def test_first_page_access_tracking(self):
+        ctx = FeatureContext()
+        ctx.update(1, 0x5000)
+        assert ctx.first_page_access
+        ctx.update(2, 0x5040)
+        assert not ctx.first_page_access
+        ctx.update(3, 0x9000)
+        assert ctx.first_page_access
+
+    def test_seen_pages_bounded(self):
+        ctx = FeatureContext(seen_pages_capacity=4)
+        for i in range(20):
+            ctx.update(1, i << 12)
+        assert len(ctx._seen_pages) <= 4
+
+    def test_line_offset(self):
+        ctx = FeatureContext()
+        assert ctx.line_offset(0x1000 + 3 * 64) == 3

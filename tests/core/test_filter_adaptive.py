@@ -1,0 +1,74 @@
+"""PerceptronFilter + AdaptiveThreshold interplay (epoch-driven behaviour)."""
+
+from repro.core.context import FeatureContext, PrefetchRequest
+from repro.core.dripper import make_dripper
+from repro.core.system_state import EpochStats, SystemState
+from repro.core.thresholds import AdaptiveThreshold
+
+
+def ctx():
+    c = FeatureContext()
+    c.update(0x400, 0x7F000000)
+    return c
+
+
+def request(delta=70):
+    return PrefetchRequest(0x7F000000 + (delta << 6), 0x400, delta)
+
+
+def accurate_epoch():
+    return EpochStats(instructions=2048, cycles=2048.0, ipc=1.0, pgc_useful=20, pgc_useless=1)
+
+
+def inaccurate_epoch():
+    return EpochStats(instructions=2048, cycles=2048.0, ipc=1.0, pgc_useful=1, pgc_useless=20)
+
+
+class TestPhaseBehaviour:
+    def test_saturated_weights_blocked_by_high_threshold(self):
+        """After an inaccurate epoch, even a fully-confident program weight
+        alone cannot pass T_a = t_high (the ladder spans the weight range)."""
+        dripper = make_dripper("berti")
+        state = SystemState(stlb_mpki=50.0, stlb_miss_rate=0.0)  # both system features inactive
+        dec = dripper.decide(request(), ctx(), state)
+        for _ in range(20):  # saturate the delta weight
+            dripper._train(dec.record, positive=True)
+        assert dripper.decide(request(), ctx(), state).issue
+        dripper.on_epoch(inaccurate_epoch())
+        assert dripper.threshold.current == dripper.threshold.config.t_high
+        assert not dripper.decide(request(), ctx(), state).issue
+
+    def test_recovery_after_accurate_epochs(self):
+        dripper = make_dripper("berti")
+        state = SystemState(stlb_mpki=50.0, stlb_miss_rate=0.0)
+        dec = dripper.decide(request(), ctx(), state)
+        for _ in range(20):
+            dripper._train(dec.record, positive=True)
+        dripper.on_epoch(inaccurate_epoch())
+        assert not dripper.decide(request(), ctx(), state).issue
+        for _ in range(10):
+            dripper.on_epoch(accurate_epoch())
+        assert dripper.decide(request(), ctx(), state).issue
+
+    def test_system_features_lift_borderline_sums(self):
+        """With system features active and trained, a modest program weight
+        clears thresholds that it could not clear alone."""
+        dripper = make_dripper("berti")
+        inactive = SystemState(stlb_mpki=50.0, stlb_miss_rate=0.0)
+        active = SystemState(stlb_mpki=0.0, stlb_miss_rate=0.9)  # both active
+        dec = dripper.decide(request(), ctx(), active)
+        for _ in range(3):
+            dripper._train(dec.record, positive=True)
+        dripper.on_epoch(EpochStats(instructions=2048, cycles=2048.0, ipc=1.0,
+                                    pgc_useful=5, pgc_useless=7))  # accuracy < 0.5 -> t_medium
+        assert not dripper.decide(request(), ctx(), inactive).issue
+        assert dripper.decide(request(), ctx(), active).issue
+
+
+class TestThresholdScaling:
+    def test_ladder_within_weight_reach(self):
+        """t_high must be reachable by program weight + system weights."""
+        t = AdaptiveThreshold()
+        max_sum = 15 + 15 + 15  # one program + two system features, 5-bit
+        assert t.config.t_high < max_sum
+        assert t.config.t_high > 15  # a lone program weight must not suffice

@@ -1,0 +1,54 @@
+"""Filter introspection helpers."""
+
+from repro.core.context import FeatureContext, PrefetchRequest
+from repro.core.dripper import make_dripper
+from repro.core.introspect import filter_state, format_filter_state, top_weights, weight_summary
+from repro.core.system_state import SystemState
+
+
+def trained_dripper():
+    d = make_dripper("berti")
+    ctx = FeatureContext()
+    ctx.update(0x400, 0x7F000000)
+    state = SystemState()
+    for delta in (8, 16, 70):
+        dec = d.decide(PrefetchRequest(0x7F000000 + (delta << 6), 0x400, delta), ctx, state)
+        for _ in range(4):
+            d._train(dec.record, positive=True)
+    return d
+
+
+class TestWeightSummary:
+    def test_counts_nonzero(self):
+        d = trained_dripper()
+        summary = weight_summary(d)
+        assert summary["Delta"]["nonzero"] >= 2
+        assert summary["Delta"]["max"] > 0
+
+    def test_system_weights_included(self):
+        summary = weight_summary(trained_dripper())
+        assert "system:sTLB MPKI" in summary
+
+
+class TestTopWeights:
+    def test_ranked_by_magnitude(self):
+        tops = top_weights(trained_dripper(), n=5)
+        magnitudes = [abs(w) for _, w in tops]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+        assert all(w != 0 for _, w in tops)
+
+
+class TestFilterState:
+    def test_snapshot_fields(self):
+        state = filter_state(trained_dripper())
+        assert state["name"] == "dripper[berti]"
+        assert state["predictions"] == 3
+        assert 0.0 <= state["permit_rate"] <= 1.0
+        assert state["positive_updates"] == 12
+        assert "epochs_seen" in state  # adaptive threshold extras
+
+    def test_format_renders(self):
+        text = format_filter_state(trained_dripper())
+        assert "dripper[berti]" in text
+        assert "Delta" in text
+        assert "vUB" in text

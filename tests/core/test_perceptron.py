@@ -1,0 +1,73 @@
+"""Perceptron storage: saturating counters and weight tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.perceptron import SaturatingCounter, WeightTable
+
+
+class TestSaturatingCounter:
+    def test_five_bit_range(self):
+        c = SaturatingCounter(bits=5)
+        assert (c.lo, c.hi) == (-16, 15)
+
+    def test_saturates_high(self):
+        c = SaturatingCounter(bits=5)
+        for _ in range(40):
+            c.increment()
+        assert c.value == 15
+
+    def test_saturates_low(self):
+        c = SaturatingCounter(bits=5)
+        for _ in range(40):
+            c.decrement()
+        assert c.value == -16
+
+    def test_rejects_out_of_range_initial(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=3, initial=100)
+
+    @given(st.lists(st.booleans(), max_size=100))
+    def test_bounded_under_any_sequence(self, ops):
+        c = SaturatingCounter(bits=4)
+        for up in ops:
+            c.increment() if up else c.decrement()
+            assert c.lo <= c.value <= c.hi
+
+
+class TestWeightTable:
+    def test_initial_zero(self):
+        t = WeightTable(entries=16, bits=5)
+        assert all(w == 0 for w in t.weights)
+
+    def test_train_positive_negative(self):
+        t = WeightTable(entries=16)
+        t.train(3, positive=True)
+        t.train(3, positive=True)
+        t.train(3, positive=False)
+        assert t.read(3) == 1
+
+    def test_saturation(self):
+        t = WeightTable(entries=16, bits=5)
+        for _ in range(50):
+            t.train(0, positive=True)
+            t.train(1, positive=False)
+        assert t.read(0) == 15
+        assert t.read(1) == -16
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            WeightTable(entries=100)
+
+    def test_index_bits(self):
+        assert WeightTable(entries=512).index_bits == 9
+
+    def test_storage_bits(self):
+        assert WeightTable(entries=512, bits=5).storage_bits() == 512 * 5
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=15), st.booleans()), max_size=200))
+    def test_weights_always_in_range(self, ops):
+        t = WeightTable(entries=16, bits=5)
+        for idx, positive in ops:
+            t.train(idx, positive)
+        assert all(-16 <= w <= 15 for w in t.weights)

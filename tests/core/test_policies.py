@@ -1,0 +1,60 @@
+"""Static page-cross policies and the policy interface contract."""
+
+import pytest
+
+from repro.core.context import FeatureContext, PrefetchRequest
+from repro.core.policies import Decision, DiscardPgc, DiscardPtw, PageCrossPolicy, PermitPgc
+from repro.core.system_state import EpochStats, SystemState
+
+REQ = PrefetchRequest(0x7F002000, 0x400, 70)
+CTX = FeatureContext()
+STATE = SystemState()
+
+
+class TestStaticPolicies:
+    def test_permit_always_issues(self):
+        assert PermitPgc().decide(REQ, CTX, STATE).issue
+
+    def test_discard_never_issues(self):
+        assert not DiscardPgc().decide(REQ, CTX, STATE).issue
+
+    def test_discard_ptw_issues_but_requires_translation(self):
+        policy = DiscardPtw()
+        assert policy.decide(REQ, CTX, STATE).issue
+        assert policy.requires_translation_hit
+
+    def test_others_do_not_require_translation(self):
+        assert not PermitPgc().requires_translation_hit
+        assert not DiscardPgc().requires_translation_hit
+
+    def test_static_policies_have_no_training_record(self):
+        for policy in (PermitPgc(), DiscardPgc(), DiscardPtw()):
+            assert policy.decide(REQ, CTX, STATE).record is None
+
+    def test_zero_storage(self):
+        for policy in (PermitPgc(), DiscardPgc(), DiscardPtw()):
+            assert policy.storage_bits() == 0
+
+    def test_names(self):
+        assert PermitPgc().name == "permit-pgc"
+        assert DiscardPgc().name == "discard-pgc"
+        assert DiscardPtw().name == "discard-ptw"
+
+
+class TestInterfaceContract:
+    def test_base_decide_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            PageCrossPolicy().decide(REQ, CTX, STATE)
+
+    def test_hooks_are_safe_no_ops(self):
+        policy = PermitPgc()
+        policy.on_discarded(1, None)
+        policy.on_issued(1, None)
+        policy.on_demand_miss(1)
+        policy.on_pcb_hit(1)
+        policy.on_pcb_evict_unused(1)
+        policy.on_epoch(EpochStats())
+
+    def test_decision_dataclass(self):
+        d = Decision(True)
+        assert d.issue and d.record is None

@@ -1,0 +1,42 @@
+"""PPF comparator: the Section VI differences from DRIPPER must hold."""
+
+from repro.core.ppf import PPF_FEATURES, make_ppf, make_ppf_dthr
+from repro.core.thresholds import AdaptiveThreshold, StaticThreshold
+
+
+class TestPpfShape:
+    def test_no_system_features(self):
+        """Difference (i): PPF uses only program features."""
+        assert not make_ppf().sys_specs
+
+    def test_static_threshold(self):
+        """Difference (iii): PPF uses a static activation threshold."""
+        assert isinstance(make_ppf().threshold, StaticThreshold)
+
+    def test_no_delta_feature(self):
+        """PPF's converted feature set keeps SPP-independent features only;
+        crucially it lacks the Delta-based features DRIPPER selects."""
+        assert "Delta" not in PPF_FEATURES
+        assert "PC^Delta" not in PPF_FEATURES
+
+    def test_prefetcher_independent_features_present(self):
+        assert "PC" in PPF_FEATURES
+        assert "CacheLineOffset" in PPF_FEATURES
+
+    def test_feature_count(self):
+        assert len(PPF_FEATURES) == 6
+        assert len(make_ppf().features) == 6
+
+
+class TestPpfDthr:
+    def test_adaptive_threshold(self):
+        assert isinstance(make_ppf_dthr().threshold, AdaptiveThreshold)
+
+    def test_same_features_as_ppf(self):
+        plain = [f.name for f in make_ppf().features]
+        dthr = [f.name for f in make_ppf_dthr().features]
+        assert plain == dthr
+
+    def test_names(self):
+        assert make_ppf().name == "ppf"
+        assert make_ppf_dthr().name == "ppf+dthr"

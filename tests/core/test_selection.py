@@ -1,0 +1,42 @@
+"""Offline feature selection (Section III-D3) on a tiny scale."""
+
+import pytest
+
+from repro.core.selection import select_features
+from repro.workloads import by_name
+
+
+@pytest.fixture(scope="module")
+def report():
+    workloads = [by_name("libquantum"), by_name("fotonik3d_s")]
+    return select_features(
+        "berti",
+        workloads,
+        program_candidates=("Delta", "PC"),
+        system_candidates=("sTLB Miss Rate",),
+        warmup_instructions=3_000,
+        sim_instructions=9_000,
+    )
+
+
+class TestSelection:
+    def test_scores_all_candidates(self, report):
+        assert {s.name for s in report.scores} == {"Delta", "PC", "sTLB Miss Rate"}
+
+    def test_scores_sorted_descending(self, report):
+        speedups = [s.speedup for s in report.scores]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_selects_something(self, report):
+        assert report.selected_program or report.selected_system
+
+    def test_final_speedup_not_worse_than_baseline(self, report):
+        assert report.final_speedup >= 0.99
+
+    def test_system_flag_correct(self, report):
+        kinds = {s.name: s.is_system for s in report.scores}
+        assert kinds["sTLB Miss Rate"] is True
+        assert kinds["Delta"] is False
+
+    def test_prefetcher_recorded(self, report):
+        assert report.prefetcher == "berti"

@@ -1,0 +1,76 @@
+"""Specialized (prefetcher-metadata) features — the Section III-D1 extension."""
+
+import pytest
+
+from repro.core.context import FeatureContext, PrefetchRequest
+from repro.core.features import FEATURES, get_feature
+from repro.core.filter import FilterConfig, PerceptronFilter
+from repro.core.specialized import SPECIALIZED_FEATURES, attach_degree_metadata
+from repro.core.system_state import SystemState
+
+
+def ctx():
+    c = FeatureContext()
+    c.update(0x400, 0x7F000000)
+    return c
+
+
+class TestMetadata:
+    def test_requests_default_to_zero_meta(self):
+        assert PrefetchRequest(0, 0, 1).meta == 0
+
+    def test_attach_degree_metadata(self):
+        requests = [PrefetchRequest(0, 0, k) for k in (1, 2, 3)]
+        attach_degree_metadata(requests)
+        assert [r.meta for r in requests] == [1, 2, 3]
+
+
+class TestFeatures:
+    def test_degree_index_reads_meta(self):
+        f = SPECIALIZED_FEATURES["DegreeIndex"]
+        assert f.value(PrefetchRequest(0, 0, 1, meta=3), ctx()) == 3
+
+    def test_fallback_when_meta_absent(self):
+        f = SPECIALIZED_FEATURES["DegreeIndex"]
+        assert f.value(PrefetchRequest(0, 0, 1), ctx()) == 0
+
+    def test_delta_degree_composite_distinguishes_depth(self):
+        f = SPECIALIZED_FEATURES["Delta+DegreeIndex"]
+        shallow = f.value(PrefetchRequest(0, 0, 8, meta=1), ctx())
+        deep = f.value(PrefetchRequest(0, 0, 8, meta=3), ctx())
+        assert shallow != deep
+
+
+class TestFilterIntegration:
+    def test_specialized_features_stay_out_of_the_registry(self):
+        """MOKA's shipped set is prefetcher-independent by design."""
+        assert "DegreeIndex" not in FEATURES
+        with pytest.raises(KeyError):
+            get_feature("DegreeIndex")
+
+    def test_filter_accepts_feature_objects(self):
+        config = FilterConfig(
+            program_features=("Delta", SPECIALIZED_FEATURES["Delta+DegreeIndex"]),
+            adaptive=False,
+        )
+        f = PerceptronFilter(config, name="specialized")
+        decision = f.decide(PrefetchRequest(0x7F002000, 0x400, 70, meta=2), ctx(), SystemState())
+        assert len(decision.record.program_indexes) == 2
+
+    def test_degree_aware_filter_can_learn_depth_specific_policy(self):
+        """Train positive for degree-1, negative for degree-3: the filter
+        should split its verdicts by depth (what prefetcher-independent
+        features cannot express for a fixed delta/PC)."""
+        config = FilterConfig(
+            program_features=(SPECIALIZED_FEATURES["Delta+DegreeIndex"],),
+            adaptive=False,
+        )
+        f = PerceptronFilter(config, name="depth-aware")
+        shallow = PrefetchRequest(0x7F002000, 0x400, 8, meta=1)
+        deep = PrefetchRequest(0x7F002040, 0x400, 8, meta=3)
+        state = SystemState()
+        for _ in range(5):
+            f._train(f.decide(shallow, ctx(), state).record, positive=True)
+            f._train(f.decide(deep, ctx(), state).record, positive=False)
+        assert f.decide(shallow, ctx(), state).issue
+        assert not f.decide(deep, ctx(), state).issue

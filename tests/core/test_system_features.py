@@ -1,0 +1,63 @@
+"""System features: Table I set, activation directions."""
+
+import pytest
+
+from repro.core.system_features import SYSTEM_FEATURES, get_system_feature
+from repro.core.system_state import SystemState
+
+
+class TestRegistry:
+    def test_exactly_six(self):
+        """Table I lists 6 system features."""
+        assert len(SYSTEM_FEATURES) == 6
+
+    def test_names_match_table_i(self):
+        assert set(SYSTEM_FEATURES) == {
+            "L1D MPKI", "L1D Miss Rate", "LLC MPKI",
+            "LLC Miss Rate", "sTLB MPKI", "sTLB Miss Rate",
+        }
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_system_feature("DRAM BW")
+
+
+class TestActivation:
+    def test_stlb_mpki_active_below_threshold(self):
+        """Section III-E: sTLB MPKI targets *low*-pressure phases."""
+        spec = get_system_feature("sTLB MPKI")
+        low, high = SystemState(stlb_mpki=0.1), SystemState(stlb_mpki=50.0)
+        assert spec.active(low)
+        assert not spec.active(high)
+
+    def test_stlb_miss_rate_active_above_threshold(self):
+        """Section III-E: sTLB Miss Rate targets *high*-pressure phases."""
+        spec = get_system_feature("sTLB Miss Rate")
+        assert spec.active(SystemState(stlb_miss_rate=0.9))
+        assert not spec.active(SystemState(stlb_miss_rate=0.01))
+
+    def test_complementary_coverage(self):
+        """The two selected features split phases: low-MPKI vs high-missrate."""
+        mpki = get_system_feature("sTLB MPKI")
+        rate = get_system_feature("sTLB Miss Rate")
+        calm = SystemState(stlb_mpki=0.0, stlb_miss_rate=0.0)
+        stormy = SystemState(stlb_mpki=100.0, stlb_miss_rate=0.9)
+        assert mpki.active(calm) and not rate.active(calm)
+        assert rate.active(stormy) and not mpki.active(stormy)
+
+    def test_threshold_override(self):
+        spec = get_system_feature("sTLB MPKI")
+        state = SystemState(stlb_mpki=5.0)
+        assert not spec.active(state)
+        assert spec.active(state, threshold=10.0)
+
+    def test_all_getters_read_state(self):
+        state = SystemState(
+            l1d_mpki=1.0, l1d_miss_rate=0.2, llc_mpki=3.0,
+            llc_miss_rate=0.4, stlb_mpki=5.0, stlb_miss_rate=0.6,
+        )
+        values = {name: spec.getter(state) for name, spec in SYSTEM_FEATURES.items()}
+        assert values == {
+            "L1D MPKI": 1.0, "L1D Miss Rate": 0.2, "LLC MPKI": 3.0,
+            "LLC Miss Rate": 0.4, "sTLB MPKI": 5.0, "sTLB Miss Rate": 0.6,
+        }

@@ -1,0 +1,78 @@
+"""vUB / pUB: capacity, FIFO eviction, pop semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.update_buffers import TrainingRecord, UpdateBuffer
+
+REC = TrainingRecord((1, 2), ("sTLB MPKI",))
+REC2 = TrainingRecord((3,), ())
+
+
+class TestBasics:
+    def test_insert_and_pop(self):
+        ub = UpdateBuffer(4)
+        ub.insert(100, REC)
+        assert ub.pop(100) == REC
+        assert ub.pop(100) is None
+
+    def test_peek_does_not_remove(self):
+        ub = UpdateBuffer(4)
+        ub.insert(100, REC)
+        assert ub.peek(100) == REC
+        assert 100 in ub
+
+    def test_miss_returns_none(self):
+        ub = UpdateBuffer(4)
+        assert ub.pop(1) is None
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            UpdateBuffer(0)
+
+
+class TestEviction:
+    def test_fifo_eviction_at_capacity(self):
+        ub = UpdateBuffer(2)
+        ub.insert(1, REC)
+        ub.insert(2, REC)
+        ub.insert(3, REC)
+        assert 1 not in ub
+        assert 2 in ub and 3 in ub
+
+    def test_reinsert_refreshes_position(self):
+        ub = UpdateBuffer(2)
+        ub.insert(1, REC)
+        ub.insert(2, REC)
+        ub.insert(1, REC2)  # refresh 1; 2 is now oldest
+        ub.insert(3, REC)
+        assert 2 not in ub
+        assert ub.peek(1) == REC2
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=200))
+    def test_length_bounded(self, keys):
+        ub = UpdateBuffer(4)
+        for key in keys:
+            ub.insert(key, REC)
+            assert len(ub) <= 4
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=100))
+    def test_most_recent_key_present(self, keys):
+        ub = UpdateBuffer(4)
+        for key in keys:
+            ub.insert(key, REC)
+        assert keys[-1] in ub
+
+
+class TestTrainingRecord:
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            REC.program_indexes = (9,)  # type: ignore[misc]
+
+    def test_paper_sizes(self):
+        """Table III: vUB has 4 entries, pUB has 128."""
+        from repro.core.dripper import make_dripper
+
+        dripper = make_dripper("berti")
+        assert dripper.vub.capacity == 4
+        assert dripper.pub.capacity == 128

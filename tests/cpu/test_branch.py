@@ -1,0 +1,126 @@
+"""Hashed perceptron branch predictor."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.branch import HashedPerceptronBranchPredictor
+
+
+def run_outcomes(bp, outcomes, pc=0x400):
+    correct = 0
+    for taken in outcomes:
+        correct += bp.predict_and_train(pc, taken)
+    return correct / len(outcomes)
+
+
+class TestLearning:
+    def test_always_taken_learned(self):
+        bp = HashedPerceptronBranchPredictor()
+        accuracy = run_outcomes(bp, [True] * 500)
+        assert accuracy > 0.95
+
+    def test_always_not_taken_learned(self):
+        bp = HashedPerceptronBranchPredictor()
+        accuracy = run_outcomes(bp, [False] * 500)
+        assert accuracy > 0.95
+
+    def test_loop_pattern_learned_via_history(self):
+        """taken^(k-1), not-taken — periodic; history tables crack it."""
+        bp = HashedPerceptronBranchPredictor()
+        outcomes = ([True] * 7 + [False]) * 200
+        run_outcomes(bp, outcomes[:800])
+        late = run_outcomes(bp, outcomes[800:])
+        assert late > 0.9
+
+    def test_random_branches_near_chance(self):
+        bp = HashedPerceptronBranchPredictor()
+        rng = random.Random(7)
+        outcomes = [rng.random() < 0.5 for _ in range(3000)]
+        accuracy = run_outcomes(bp, outcomes)
+        assert 0.4 < accuracy < 0.62
+
+    def test_biased_branches_learn_bias(self):
+        bp = HashedPerceptronBranchPredictor()
+        rng = random.Random(3)
+        outcomes = [rng.random() < 0.9 for _ in range(2000)]
+        accuracy = run_outcomes(bp, outcomes)
+        assert accuracy > 0.82
+
+    def test_distinct_pcs_distinct_behaviour(self):
+        bp = HashedPerceptronBranchPredictor()
+        for _ in range(300):
+            bp.predict_and_train(0x100, True)
+            bp.predict_and_train(0x200, False)
+        base = bp.mispredictions
+        for _ in range(50):
+            bp.predict_and_train(0x100, True)
+            bp.predict_and_train(0x200, False)
+        assert bp.mispredictions - base <= 2
+
+
+class TestBookkeeping:
+    def test_counters(self):
+        bp = HashedPerceptronBranchPredictor()
+        run_outcomes(bp, [True, False, True])
+        assert bp.predictions == 3
+        assert 0 <= bp.mispredictions <= 3
+        assert 0.0 <= bp.mispredict_rate <= 1.0
+
+    def test_snapshot(self):
+        bp = HashedPerceptronBranchPredictor()
+        run_outcomes(bp, [True] * 10)
+        bp.snapshot()
+        run_outcomes(bp, [True] * 5)
+        assert bp.measured_predictions == 5
+
+    def test_rejects_bad_table_size(self):
+        with pytest.raises(ValueError):
+            HashedPerceptronBranchPredictor(table_entries=100)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    @settings(max_examples=25)
+    def test_weights_stay_bounded(self, outcomes):
+        bp = HashedPerceptronBranchPredictor(table_entries=64, weight_bits=4)
+        run_outcomes(bp, outcomes)
+        for table in bp.tables:
+            assert all(bp.weight_lo <= w <= bp.weight_hi for w in table)
+
+
+class TestEngineIntegration:
+    def test_loop_profile_beats_random_profile(self):
+        from repro.core.policies import DiscardPgc
+        from repro.cpu.simulator import SimConfig, simulate
+        from repro.workloads.patterns import Stream
+        from repro.workloads.synthetic import SyntheticWorkload
+
+        def workload(profile):
+            return SyntheticWorkload(
+                f"bw-{profile[0]}", "TEST", 3,
+                [(lambda: Stream(0, footprint_pages=64), 1 << 30)],
+                branch_profile=profile,
+            )
+
+        config = SimConfig(policy_factory=DiscardPgc, warmup_instructions=2_000, sim_instructions=8_000)
+        loop = simulate(workload(("loop", 16)), config)
+        noisy = simulate(workload(("biased", 0.55)), config)
+        assert loop.branches > 0 and noisy.branches > 0
+        assert loop.branch_mispredict_rate < 0.05
+        assert noisy.branch_mispredict_rate > 0.2
+        assert loop.ipc > noisy.ipc
+
+    def test_legacy_mispredict_flag_still_works(self):
+        from repro.core.policies import DiscardPgc
+        from repro.cpu.simulator import SimConfig, simulate
+        from repro.workloads.patterns import Stream
+        from repro.workloads.synthetic import SyntheticWorkload
+
+        w = SyntheticWorkload(
+            "legacy", "TEST", 3,
+            [(lambda: Stream(0, footprint_pages=64), 1 << 30)],
+            mispredict_rate=0.2,
+        )
+        config = SimConfig(policy_factory=DiscardPgc, warmup_instructions=2_000, sim_instructions=6_000)
+        r = simulate(w, config)
+        assert r.branches == 0  # no perceptron-predicted branches in the trace

@@ -1,0 +1,219 @@
+"""Core engine: timing model, ROB, page-cross plumbing (with test doubles)."""
+
+from repro.core.context import PrefetchRequest
+from repro.core.policies import Decision, DiscardPgc, DiscardPtw, PageCrossPolicy, PermitPgc
+from repro.cpu.simulator import SimConfig, build_engine
+from repro.prefetch.base import L1dPrefetcher
+from repro.workloads.trace import DEPENDS, LOAD, MISPREDICT, STORE
+
+
+class ScriptedPrefetcher(L1dPrefetcher):
+    """Emits a fixed delta on every access."""
+
+    name = "scripted"
+
+    def __init__(self, delta_lines: int):
+        super().__init__()
+        self.delta = delta_lines
+
+    def on_access(self, pc, vaddr, hit, t):
+        target = vaddr + (self.delta << 6)
+        return [PrefetchRequest(target, pc, self.delta)]
+
+
+class RecordingPolicy(PageCrossPolicy):
+    name = "recording"
+
+    def __init__(self, issue=True):
+        self.issue = issue
+        self.decisions = 0
+        self.discards: list[int] = []
+        self.issues: list[int] = []
+        self.demand_misses = 0
+
+    def decide(self, req, ctx, state):
+        self.decisions += 1
+        return Decision(self.issue)
+
+    def on_discarded(self, line, record):
+        self.discards.append(line)
+
+    def on_issued(self, line, record):
+        self.issues.append(line)
+
+    def on_demand_miss(self, line):
+        self.demand_misses += 1
+
+
+def engine_with(prefetcher=None, policy=None):
+    config = SimConfig(policy_factory=lambda: policy or DiscardPgc())
+    return build_engine(config, prefetcher=prefetcher or L1dPrefetcherStub())
+
+
+class L1dPrefetcherStub(L1dPrefetcher):
+    name = "stub"
+
+    def on_access(self, pc, vaddr, hit, t):
+        return []
+
+
+class TestTimingModel:
+    def test_time_advances(self):
+        e = engine_with()
+        e.step(0x400, 0x1000, LOAD, 2)
+        t1 = e.retire_t
+        e.step(0x404, 0x2000, LOAD, 2)
+        assert e.retire_t > t1
+
+    def test_instruction_counting_includes_gap(self):
+        e = engine_with()
+        e.step(0x400, 0x1000, LOAD, 9)
+        assert e.instructions == 10
+
+    def test_cache_hit_faster_than_miss(self):
+        miss = engine_with()
+        miss.step(0x400, 0x1000, LOAD, 0)
+        cold = miss.retire_t
+        hit = engine_with()
+        hit.step(0x400, 0x1000, LOAD, 0)
+        hit.step(0x404, 0x1040, LOAD, 0)  # warm TLB/PTEs nearby
+        before = hit.retire_t
+        hit.step(0x408, 0x1000, LOAD, 0)
+        assert hit.retire_t - before < cold
+
+    def test_mispredict_stalls_frontend(self):
+        plain = engine_with()
+        plain.step(0x400, 0x1000, LOAD, 0)
+        plain.step(0x404, 0x1040, LOAD, 0)
+        flagged = engine_with()
+        flagged.step(0x400, 0x1000, LOAD | MISPREDICT, 0)
+        flagged.step(0x404, 0x1040, LOAD, 0)
+        assert flagged.fetch_t > plain.fetch_t
+
+    def test_dependent_load_serialises(self):
+        def run(flags):
+            e = engine_with()
+            e.step(0x400, 0x1000, LOAD, 0)  # warm the page translation
+            start = e.retire_t
+            for i in range(8):
+                e.step(0x400, 0x1040 + i * 64, flags, 0)
+            return e.retire_t - start
+
+        free = run(LOAD)  # independent misses overlap in the MSHRs
+        chained = run(LOAD | DEPENDS)  # pointer chase pays full latency each
+        assert chained > free * 2
+
+    def test_store_does_not_block(self):
+        e = engine_with()
+        e.step(0x400, 0x1000, STORE, 0)
+        store_t = e.retire_t
+        e2 = engine_with()
+        e2.step(0x400, 0x1000, LOAD, 0)
+        assert store_t < e2.retire_t
+
+    def test_retire_monotone(self):
+        e = engine_with()
+        last = 0.0
+        for i in range(50):
+            e.step(0x400 + i % 3, 0x1000 + i * 64, LOAD, 1)
+            assert e.retire_t >= last
+            last = e.retire_t
+
+
+class TestRobModel:
+    def test_rob_stall_accumulates_under_dependent_misses(self):
+        e = engine_with()
+        for i in range(600):
+            e.step(0x400, 0x100000 + i * 0x100000, LOAD | DEPENDS, 0)
+        assert e.rob_stall_cycles > 0
+
+
+class TestPrefetchPlumbing:
+    def test_in_page_prefetch_bypasses_policy(self):
+        policy = RecordingPolicy()
+        e = engine_with(ScriptedPrefetcher(1), policy)
+        e.step(0x400, 0x1000, LOAD, 0)  # offset 0 -> +1 line stays in page
+        assert policy.decisions == 0
+        assert e.pgc.candidates == 0
+
+    def test_page_cross_consults_policy(self):
+        policy = RecordingPolicy()
+        e = engine_with(ScriptedPrefetcher(70), policy)
+        e.step(0x400, 0x1000, LOAD, 0)
+        assert policy.decisions == 1
+        assert e.pgc.candidates == 1
+        assert e.pgc.issued == 1
+        assert policy.issues
+
+    def test_discard_policy_blocks_issue(self):
+        policy = RecordingPolicy(issue=False)
+        e = engine_with(ScriptedPrefetcher(70), policy)
+        e.step(0x400, 0x1000, LOAD, 0)
+        assert e.pgc.issued == 0
+        assert e.pgc.discarded == 1
+        assert policy.discards == [(0x1000 + 70 * 64) >> 6]
+
+    def test_issued_prefetch_triggers_speculative_walk(self):
+        e = engine_with(ScriptedPrefetcher(70), RecordingPolicy())
+        e.step(0x400, 0x1000, LOAD, 0)
+        assert e.walker.speculative_walks == 1
+
+    def test_discard_ptw_skips_walk(self):
+        e = engine_with(ScriptedPrefetcher(70), DiscardPtw())
+        e.step(0x400, 0x1000, LOAD, 0)
+        assert e.walker.speculative_walks == 0
+        assert e.pgc.discarded_no_translation == 1
+
+    def test_discard_ptw_issues_on_tlb_hit(self):
+        e = engine_with(ScriptedPrefetcher(64), DiscardPtw())
+        e.step(0x400, 0x2000, LOAD, 0)  # touches page 2; walks
+        e.step(0x404, 0x1000, LOAD, 0)  # prefetch targets page 2: TLB hit
+        assert e.pgc.issued >= 1
+
+    def test_pcb_set_on_page_cross_fill(self):
+        e = engine_with(ScriptedPrefetcher(70), PermitPgc())
+        e.step(0x400, 0x1000, LOAD, 0)
+        filled = [b for s in e.hierarchy.l1d._sets for b in s.values() if b.pcb]
+        assert len(filled) == 1
+
+    def test_demand_miss_reaches_policy(self):
+        policy = RecordingPolicy()
+        e = engine_with(ScriptedPrefetcher(70), policy)
+        e.step(0x400, 0x1000, LOAD, 0)
+        assert policy.demand_misses == 1
+
+
+class TestEpochs:
+    def test_epoch_updates_system_state(self):
+        config = SimConfig(policy_factory=DiscardPgc, epoch_instructions=64)
+        e = build_engine(config, prefetcher=L1dPrefetcherStub())
+        for i in range(200):
+            e.step(0x400, 0x1000 + i * 4096, LOAD, 0)
+        assert e.system_state.last_epoch.instructions > 0
+        assert e.system_state.l1d_mpki > 0
+
+    def test_epoch_reaches_policy(self):
+        class EpochCounter(RecordingPolicy):
+            epochs = 0
+
+            def on_epoch(self, epoch):
+                self.epochs += 1
+
+        policy = EpochCounter()
+        config = SimConfig(policy_factory=lambda: policy, epoch_instructions=64)
+        e = build_engine(config, prefetcher=L1dPrefetcherStub())
+        for i in range(200):
+            e.step(0x400, 0x1000 + i * 64, LOAD, 0)
+        assert policy.epochs >= 2
+
+
+class TestMeasurement:
+    def test_begin_measurement_resets_counters(self):
+        e = engine_with()
+        for i in range(50):
+            e.step(0x400, 0x1000 + i * 4096, LOAD, 0)
+        e.begin_measurement()
+        assert e.measured_instructions == 0
+        e.step(0x400, 0x900000, LOAD, 4)
+        assert e.measured_instructions == 5
+        assert e.measured_cycles > 0

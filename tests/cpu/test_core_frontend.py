@@ -1,0 +1,74 @@
+"""Core engine front-end: instruction fetch, iTLB, L1I pressure, epochs."""
+
+from repro.core.policies import DiscardPgc
+from repro.cpu.simulator import SimConfig, build_engine
+from repro.prefetch.base import NoPrefetcher
+from repro.workloads.trace import LOAD
+
+
+def make_engine(epoch=2048):
+    config = SimConfig(policy_factory=DiscardPgc, epoch_instructions=epoch)
+    return build_engine(config, prefetcher=NoPrefetcher())
+
+
+class TestInstructionSide:
+    def test_repeated_pc_fetches_once(self):
+        e = make_engine()
+        for i in range(20):
+            e.step(0x400000, 0x1000 + i * 64, LOAD, 0)
+        assert e.hierarchy.l1i.stats.accesses == 1
+
+    def test_new_lines_fetch(self):
+        e = make_engine()
+        for i in range(10):
+            e.step(0x400000 + i * 64, 0x1000, LOAD, 0)
+        assert e.hierarchy.l1i.demand_stats.accesses == 10
+
+    def test_itlb_populated(self):
+        e = make_engine()
+        e.step(0x400000, 0x1000, LOAD, 0)
+        assert e.itlb.stats.misses == 1
+        e.step(0x400040, 0x1040, LOAD, 0)
+        assert e.itlb.stats.hits == 1
+
+    def test_instruction_walks_counted_as_demand(self):
+        e = make_engine()
+        e.step(0x400000, 0x1000, LOAD, 0)
+        assert e.walker.demand_walks == 2  # one I-side, one D-side
+
+    def test_long_gaps_fetch_extra_code_lines(self):
+        tight = make_engine()
+        tight.step(0x400000, 0x1000, LOAD, 0)
+        loose = make_engine()
+        loose.step(0x400000, 0x1000, LOAD, 120)  # ~480B of straight-line code
+        assert loose.hierarchy.l1i.stats.accesses > tight.hierarchy.l1i.stats.accesses
+
+    def test_l1i_prefetcher_fills_next_lines(self):
+        e = make_engine()
+        e.step(0x400000, 0x1000, LOAD, 0)
+        prefetched = [
+            b for s in e.hierarchy.l1i._sets for b in s.values() if b.prefetched
+        ]
+        assert prefetched
+
+    def test_big_code_footprint_creates_l1i_misses(self):
+        # walk 1024 distinct code lines (64KB > 32KB L1I), twice
+        e = make_engine(epoch=512)
+        for rep in range(2):
+            for i in range(1024):
+                e.step(0x400000 + i * 64, 0x1000, LOAD, 0)
+        assert e.system_state.l1i_mpki > 0
+
+
+class TestEpochBookkeeping:
+    def test_ipc_tracked_per_epoch(self):
+        e = make_engine(epoch=128)
+        for i in range(400):
+            e.step(0x400000, 0x1000 + (i % 4) * 64, LOAD, 1)
+        assert e.system_state.ipc > 0
+
+    def test_rob_stall_fraction_bounded(self):
+        e = make_engine(epoch=128)
+        for i in range(600):
+            e.step(0x400000, 0x100000 * (i + 1), LOAD, 0)
+        assert 0.0 <= e.system_state.rob_stall_fraction <= 1.0

@@ -1,0 +1,98 @@
+"""Multi-core mix simulation."""
+
+import pytest
+
+from repro.core.policies import DiscardPgc
+from repro.cpu.multicore import MixResult, isolation_ipc, simulate_mix
+from repro.cpu.simulator import SimConfig, simulate
+from repro.workloads.patterns import Gather, Stream
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def workload(name, seed, pattern=Stream, **kwargs):
+    return SyntheticWorkload(
+        name, "TEST", seed,
+        [(lambda: pattern(0, **kwargs), 1 << 30)],
+        mean_gap=2.0,
+    )
+
+
+def quick_config():
+    return SimConfig(
+        prefetcher="berti", policy_factory=DiscardPgc,
+        warmup_instructions=1_000, sim_instructions=4_000,
+    )
+
+
+class TestSimulateMix:
+    def test_all_cores_finish(self):
+        mix = [workload(f"w{i}", i + 1, footprint_pages=256) for i in range(4)]
+        result = simulate_mix(mix, quick_config())
+        assert len(result.results) == 4
+        for r in result.results:
+            # warm-up may overshoot by one record's gap
+            assert r.instructions >= 4_000 - 50
+            assert r.ipc > 0
+
+    def test_results_match_workload_order(self):
+        mix = [workload(f"w{i}", i + 1, footprint_pages=128) for i in range(2)]
+        result = simulate_mix(mix, quick_config())
+        assert [r.workload for r in result.results] == ["w0", "w1"]
+
+    def test_contention_slows_cores_down(self):
+        """Memory-hog co-runners must reduce a core's IPC vs isolation."""
+        victim = workload("victim", 1, footprint_pages=2048)
+        hogs = [workload(f"hog{i}", i + 2, Gather, footprint_pages=8192) for i in range(3)]
+        iso = isolation_ipc(victim, quick_config(), cores=4)
+        mixed = simulate_mix([victim, *hogs], quick_config())
+        assert mixed.results[0].ipc < iso
+
+    def test_deterministic(self):
+        mix = [workload(f"w{i}", i + 1, footprint_pages=128) for i in range(2)]
+        a = simulate_mix(mix, quick_config())
+        b = simulate_mix(mix, quick_config())
+        assert [r.ipc for r in a.results] == [r.ipc for r in b.results]
+
+
+class TestWeightedIpc:
+    def test_weighted_ipc_formula(self):
+        results = simulate_mix(
+            [workload("a", 1, footprint_pages=128), workload("b", 2, footprint_pages=128)],
+            quick_config(),
+        )
+        isolation = [1.0, 2.0]
+        expected = results.results[0].ipc / 1.0 + results.results[1].ipc / 2.0
+        assert results.weighted_ipc(isolation) == pytest.approx(expected)
+
+    def test_weighted_ipc_rejects_mismatch(self):
+        result = MixResult([])
+        with pytest.raises(ValueError):
+            result.weighted_ipc([1.0])
+
+
+class TestIsolation:
+    def test_isolation_uses_scaled_llc(self):
+        w = workload("solo", 3, footprint_pages=700)
+        single = simulate(w, quick_config()).ipc
+        scaled = isolation_ipc(w, quick_config(), cores=8)
+        # 8x LLC capacity on a 700-page footprint: misses drop, IPC rises
+        assert scaled >= single
+
+
+class TestPerCoreLlcStats:
+    def test_shared_llc_stats_do_not_leak_into_core_results(self):
+        """Each core's LLC MPKI must reflect only its own demand traffic."""
+        mix = [workload(f"w{i}", i + 1, Gather, footprint_pages=4096) for i in range(4)]
+        result = simulate_mix(mix, quick_config())
+        total_shared = sum(r.llc_mpki * r.instructions / 1000 for r in result.results)
+        for r in result.results:
+            own = r.llc_mpki * r.instructions / 1000
+            assert own < 0.5 * total_shared + 1, (
+                "a single core reported most of the shared LLC's misses"
+            )
+
+    def test_single_core_unchanged_by_accounting(self):
+        w = workload("solo", 9, footprint_pages=1024)
+        r = simulate(w, quick_config())
+        # in single-core runs the per-core view covers all demand traffic
+        assert r.llc_mpki > 0

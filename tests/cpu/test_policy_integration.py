@@ -1,0 +1,70 @@
+"""End-to-end policy integration properties on randomized short workloads."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DiscardPtw, make_dripper, make_ppf, make_ppf_dthr
+from repro.core.policies import DiscardPgc, PermitPgc
+from repro.cpu.simulator import SimConfig, simulate
+from repro.workloads.patterns import Gather, PageTiled, Stream, Strided
+from repro.workloads.synthetic import SyntheticWorkload
+
+PATTERNS = (
+    lambda: Stream(0, stride_lines=1, footprint_pages=512),
+    lambda: Strided(0, stride_lines=40, footprint_pages=512),
+    lambda: PageTiled(0, footprint_pages=512, burst_lines=48),
+    lambda: Gather(0, footprint_pages=512),
+)
+
+POLICY_FACTORIES = {
+    "permit": PermitPgc,
+    "discard": DiscardPgc,
+    "discard-ptw": DiscardPtw,
+    "dripper": lambda: make_dripper("berti"),
+    "ppf": make_ppf,
+    "ppf+dthr": make_ppf_dthr,
+}
+
+
+def run(pattern_index: int, seed: int, policy_name: str):
+    workload = SyntheticWorkload(
+        f"pi-{pattern_index}-{seed}", "TEST", seed,
+        [(PATTERNS[pattern_index], 1 << 30)],
+        mean_gap=2.5,
+    )
+    config = SimConfig(
+        prefetcher="berti",
+        policy_factory=POLICY_FACTORIES[policy_name],
+        warmup_instructions=2_000,
+        sim_instructions=6_000,
+    )
+    return simulate(workload, config)
+
+
+class TestEveryPolicyOnEveryPattern:
+    @pytest.mark.parametrize("policy_name", sorted(POLICY_FACTORIES))
+    @pytest.mark.parametrize("pattern_index", range(len(PATTERNS)))
+    def test_runs_and_accounts_consistently(self, policy_name, pattern_index):
+        r = run(pattern_index, seed=3, policy_name=policy_name)
+        assert r.ipc > 0
+        assert r.pgc_useful + r.pgc_useless <= r.pgc_issued + 768
+        if policy_name == "discard":
+            assert r.pgc_issued == 0
+            assert r.speculative_walks == 0
+        if policy_name == "permit" and r.pgc_candidates:
+            assert r.pgc_issued == r.pgc_candidates
+        if policy_name == "discard-ptw":
+            assert r.speculative_walks == 0
+
+    @given(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=8, deadline=None)
+    def test_dripper_bounded_between_statics(self, pattern_index, seed):
+        """DRIPPER's IPC stays within a band around the better static policy
+        on single-pattern workloads (it cannot invent new behaviour)."""
+        permit = run(pattern_index, seed, "permit")
+        discard = run(pattern_index, seed, "discard")
+        dripper = run(pattern_index, seed, "dripper")
+        low = min(permit.ipc, discard.ipc)
+        high = max(permit.ipc, discard.ipc)
+        assert dripper.ipc >= low * 0.93
+        assert dripper.ipc <= high * 1.07

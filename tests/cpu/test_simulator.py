@@ -1,0 +1,101 @@
+"""Single-core simulation driver."""
+
+import pytest
+
+from repro.core.policies import DiscardPgc, PermitPgc
+from repro.cpu.simulator import SimConfig, simulate
+from repro.workloads.patterns import Stream
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def stream_workload(seed=1, pages=512):
+    return SyntheticWorkload(
+        "stream", "TEST", seed,
+        [(lambda: Stream(0, stride_lines=1, footprint_pages=pages), 1 << 30)],
+        mean_gap=2.0,
+    )
+
+
+def quick_config(**kwargs):
+    defaults = dict(
+        prefetcher="berti", policy_factory=DiscardPgc,
+        warmup_instructions=2_000, sim_instructions=6_000,
+    )
+    defaults.update(kwargs)
+    return SimConfig(**defaults)
+
+
+class TestSimulate:
+    def test_produces_result(self):
+        result = simulate(stream_workload(), quick_config())
+        assert result.instructions >= 6_000
+        assert result.cycles > 0
+        assert 0 < result.ipc < 6.0
+        assert result.workload == "stream"
+        assert result.prefetcher == "berti"
+        assert result.policy == "discard-pgc"
+
+    def test_deterministic(self):
+        a = simulate(stream_workload(), quick_config())
+        b = simulate(stream_workload(), quick_config())
+        assert a.ipc == b.ipc
+        assert a.l1d_mpki == b.l1d_mpki
+
+    def test_policy_changes_outcome(self):
+        discard = simulate(stream_workload(), quick_config())
+        permit = simulate(stream_workload(), quick_config(policy_factory=PermitPgc))
+        assert permit.pgc_issued > 0
+        assert discard.pgc_issued == 0
+        assert discard.pgc_discarded > 0
+
+    def test_mpkis_nonnegative(self):
+        r = simulate(stream_workload(), quick_config())
+        for value in (r.dtlb_mpki, r.stlb_mpki, r.l1d_mpki, r.l1i_mpki, r.l2c_mpki, r.llc_mpki):
+            assert value >= 0.0
+
+    def test_accuracy_and_coverage_in_unit_range(self):
+        r = simulate(stream_workload(), quick_config(policy_factory=PermitPgc))
+        assert 0.0 <= r.prefetch_accuracy <= 1.0
+        assert 0.0 <= r.prefetch_coverage <= 1.0
+        assert 0.0 <= r.pgc_accuracy <= 1.0
+
+    def test_speedup_over(self):
+        a = simulate(stream_workload(), quick_config())
+        b = simulate(stream_workload(), quick_config(policy_factory=PermitPgc))
+        assert b.speedup_over(a) == pytest.approx(b.ipc / a.ipc)
+
+    def test_speedup_over_rejects_workload_mismatch(self):
+        a = simulate(stream_workload(), quick_config())
+        other = SyntheticWorkload(
+            "other", "TEST", 2,
+            [(lambda: Stream(0, footprint_pages=64), 1 << 30)],
+        )
+        b = simulate(other, quick_config())
+        with pytest.raises(ValueError):
+            b.speedup_over(a)
+
+    def test_large_pages_reduce_walk_pressure(self):
+        small = simulate(stream_workload(pages=2048), quick_config())
+        large = simulate(
+            stream_workload(pages=2048), quick_config(large_page_fraction=1.0)
+        )
+        assert large.stlb_mpki < small.stlb_mpki
+
+    def test_pgc_counters_consistent(self):
+        r = simulate(stream_workload(), quick_config(policy_factory=PermitPgc))
+        assert r.pgc_issued + r.pgc_discarded <= r.pgc_candidates + r.pgc_issued
+        assert r.pgc_useful + r.pgc_useless <= r.pgc_issued
+
+    def test_pki_properties(self):
+        r = simulate(stream_workload(), quick_config(policy_factory=PermitPgc))
+        assert r.pgc_useful_pki == pytest.approx(1000.0 * r.pgc_useful / r.instructions)
+
+
+class TestMeasurementWindow:
+    def test_warmup_excluded_from_instructions(self):
+        r = simulate(stream_workload(), quick_config())
+        assert 6_000 <= r.instructions < 6_000 + 100  # one record of slack
+
+    def test_l2_prefetcher_option(self):
+        r = simulate(stream_workload(), quick_config(l2_prefetcher="spp"))
+        assert r.instructions > 0

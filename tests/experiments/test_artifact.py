@@ -1,0 +1,50 @@
+"""Artifact report generation (tiny scale)."""
+
+import pytest
+
+from repro.experiments.artifact import EXPERIMENTS, _fmt, _render, main, run_artifact
+from repro.experiments.figures import Scale
+
+TINY = Scale(n_workloads=4, warmup_instructions=2_000, sim_instructions=6_000, seed=2)
+
+
+class TestRendering:
+    def test_fmt_float(self):
+        assert _fmt(1.234) == "+1.23"
+        assert _fmt(-0.5) == "-0.50"
+
+    def test_fmt_long_list_truncated(self):
+        out = _fmt(list(range(50)))
+        assert "(50 values)" in out
+
+    def test_render_nested_dict(self):
+        lines = _render({"a": {"b": 1.0}, "c": 2})
+        assert any("**a**" in line for line in lines)
+        assert any("**b**" in line for line in lines)
+
+
+class TestExperimentTable:
+    def test_covers_all_exhibits(self):
+        names = [name for name, _, _ in EXPERIMENTS]
+        for n in (2, 3, 4, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18):
+            assert f"Figure {n}" in names
+        assert "Table V" in names
+
+
+@pytest.mark.slow
+class TestRunArtifact:
+    def test_single_exhibit_report(self):
+        report = run_artifact(TINY, only=["Figure 15"])
+        assert "## Figure 15" in report
+        assert "*Paper:*" in report
+        assert "## Figure 9" not in report
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main([
+            "--out", str(out), "--workloads", "4",
+            "--warmup", "2000", "--sim", "6000", "--only", "15",
+        ])
+        assert code == 0
+        assert out.exists()
+        assert "Figure 15" in out.read_text()

@@ -1,0 +1,61 @@
+"""Dynamic-energy accounting."""
+
+import pytest
+
+from repro.core.policies import DiscardPgc, PermitPgc
+from repro.cpu.simulator import SimConfig, simulate
+from repro.experiments.energy import (
+    EnergyEstimate,
+    energy_delay_product,
+    energy_per_ki,
+    estimate_energy,
+)
+from repro.workloads import by_name
+
+
+@pytest.fixture(scope="module")
+def runs():
+    out = {}
+    for name, factory in (("discard", DiscardPgc), ("permit", PermitPgc)):
+        config = SimConfig(
+            prefetcher="berti", policy_factory=factory,
+            warmup_instructions=6_000, sim_instructions=18_000,
+        )
+        out[name] = simulate(by_name("fotonik3d_s"), config)
+    return out
+
+
+class TestEstimate:
+    def test_components_nonnegative(self, runs):
+        e = estimate_energy(runs["discard"])
+        for value in (e.demand_pj, e.prefetch_pj, e.speculative_walk_pj, e.dram_pj):
+            assert value >= 0.0
+        assert e.total_pj > 0.0
+
+    def test_discard_spends_nothing_on_speculative_walks(self, runs):
+        assert estimate_energy(runs["discard"]).speculative_walk_pj == 0.0
+
+    def test_useless_page_crossing_costs_energy(self, runs):
+        """On a hostile workload, Permit burns more energy than Discard."""
+        hostile_permit = estimate_energy(runs["permit"])
+        hostile_discard = estimate_energy(runs["discard"])
+        assert hostile_permit.speculative_walk_pj > 0.0
+        assert hostile_permit.total_pj > hostile_discard.total_pj
+
+    def test_custom_costs_scale(self, runs):
+        base = estimate_energy(runs["permit"]).dram_pj
+        doubled = estimate_energy(runs["permit"], {"dram_read": 4000.0, "dram_write": 4000.0}).dram_pj
+        assert doubled == pytest.approx(2 * base)
+
+    def test_per_ki_positive(self, runs):
+        assert energy_per_ki(runs["discard"]) > 0.0
+
+    def test_edp_punishes_hostile_permitting(self, runs):
+        """Hostile page-crossing loses on energy AND time: EDP is worse."""
+        assert energy_delay_product(runs["permit"]) > energy_delay_product(runs["discard"])
+
+    def test_estimate_dataclass_frozen(self):
+        e = EnergyEstimate(1.0, 2.0, 3.0, 4.0)
+        assert e.total_pj == 10.0
+        with pytest.raises(Exception):
+            e.demand_pj = 0.0  # type: ignore[misc]

@@ -1,0 +1,52 @@
+"""CSV/JSON result export."""
+
+import csv
+
+import pytest
+
+from repro.core.policies import DiscardPgc
+from repro.cpu.simulator import SimConfig, simulate
+from repro.experiments.export import read_json, result_to_dict, write_csv, write_json
+from repro.workloads import by_name
+
+
+@pytest.fixture(scope="module")
+def results():
+    config = SimConfig(policy_factory=DiscardPgc, warmup_instructions=1_000, sim_instructions=3_000)
+    return [simulate(by_name("hmmer"), config), simulate(by_name("gobmk"), config)]
+
+
+class TestResultToDict:
+    def test_contains_fields_and_derived(self, results):
+        row = result_to_dict(results[0])
+        assert row["workload"] == "hmmer"
+        assert "ipc" in row
+        assert "prefetch_accuracy" in row
+        assert "pgc_useful_pki" in row
+
+
+class TestCsv:
+    def test_roundtrip(self, results, tmp_path):
+        path = write_csv(results, tmp_path / "out.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+        assert rows[0]["workload"] == "hmmer"
+        assert float(rows[0]["ipc"]) == pytest.approx(results[0].ipc)
+
+    def test_empty_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "out.csv")
+
+
+class TestJson:
+    def test_roundtrip(self, results, tmp_path):
+        path = write_json(results, tmp_path / "out.json")
+        rows = read_json(path)
+        assert len(rows) == 2
+        assert rows[1]["workload"] == "gobmk"
+        assert rows[1]["ipc"] == pytest.approx(results[1].ipc)
+
+    def test_empty_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_json([], tmp_path / "out.json")

@@ -1,0 +1,40 @@
+"""Sampling helpers inside the figure experiments."""
+
+from repro.experiments.figures import Scale, _motivation_sample, _sample_seen
+from repro.workloads import motivation_workloads
+
+
+class TestMotivationSample:
+    def test_stride_sample_keeps_both_behaviours(self):
+        """The motivation list is friendly-first; any sample size must keep
+        representatives of both sides for the Figure 2/3 shapes to appear."""
+        names = [w.name for w in motivation_workloads()]
+        friendly_half = set(names[: len(names) // 2])
+        hostile_half = set(names[len(names) // 2:])
+        for n in (8, 10, 13, 20):
+            sample = {w.name for w in _motivation_sample(Scale(n_workloads=n))}
+            assert sample & friendly_half, f"n={n}: no friendly workloads"
+            assert sample & hostile_half, f"n={n}: no hostile workloads"
+
+    def test_oversized_returns_all(self):
+        sample = _motivation_sample(Scale(n_workloads=999))
+        assert len(sample) == len(motivation_workloads())
+
+    def test_deterministic(self):
+        a = [w.name for w in _motivation_sample(Scale(n_workloads=10))]
+        b = [w.name for w in _motivation_sample(Scale(n_workloads=10))]
+        assert a == b
+
+
+class TestSeenSample:
+    def test_size_and_determinism(self):
+        scale = Scale(n_workloads=12, seed=3)
+        a = [w.name for w in _sample_seen(scale)]
+        b = [w.name for w in _sample_seen(scale)]
+        assert a == b
+        assert len(a) == 12
+
+    def test_seed_changes_sample(self):
+        a = {w.name for w in _sample_seen(Scale(n_workloads=12, seed=1))}
+        b = {w.name for w in _sample_seen(Scale(n_workloads=12, seed=2))}
+        assert a != b

@@ -1,0 +1,99 @@
+"""Aggregate metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.experiments.metrics import average, geomean, speedup_percent, weighted_speedup
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20))
+    def test_scale_invariance(self, values):
+        g = geomean(values)
+        assert geomean([v * 2 for v in values]) == pytest.approx(2 * g, rel=1e-9)
+
+
+class TestSpeedupPercent:
+    def test_identity_is_zero(self):
+        assert speedup_percent(1.0) == 0.0
+
+    def test_positive_and_negative(self):
+        assert speedup_percent(1.017) == pytest.approx(1.7)
+        assert speedup_percent(0.99) == pytest.approx(-1.0)
+
+
+class TestWeightedSpeedup:
+    def test_formula(self):
+        assert weighted_speedup([1.0, 2.0], [2.0, 2.0]) == pytest.approx(1.5)
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+
+    def test_zero_isolation_raises(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [0.0])
+
+
+class TestAverage:
+    def test_basic(self):
+        assert average([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_is_zero(self):
+        assert average([]) == 0.0
+
+    def test_generator_input(self):
+        assert average(x for x in (2.0, 4.0)) == 3.0
+
+
+class TestGeomeanSpeedup:
+    def test_against_baselines(self):
+        from dataclasses import replace
+
+        from repro.experiments.metrics import geomean_speedup
+
+        base = _result("w", 1.0)
+        fast = replace(base, ipc=1.21)
+        assert geomean_speedup([fast], [base]) == pytest.approx(1.21)
+
+    def test_length_mismatch(self):
+        from repro.experiments.metrics import geomean_speedup
+
+        with pytest.raises(ValueError):
+            geomean_speedup([], [_result("w", 1.0)])
+
+
+def _result(workload: str, ipc: float):
+    from repro.cpu.simulator import SimResult
+
+    return SimResult(
+        workload=workload, prefetcher="berti", policy="p",
+        instructions=1000, cycles=1000 / ipc, ipc=ipc,
+        dtlb_mpki=0, itlb_mpki=0, stlb_mpki=0, l1i_mpki=0, l1d_mpki=0,
+        l2c_mpki=0, llc_mpki=0, l1d_miss_rate=0, llc_miss_rate=0,
+        stlb_miss_rate=0, prefetch_fills=0, prefetch_useful=0,
+        prefetch_useless=0, prefetch_late=0, pgc_candidates=0, pgc_issued=0,
+        pgc_discarded=0, pgc_useful=0, pgc_useless=0, demand_walks=0,
+        speculative_walks=0, tlb_prefetch_hits=0, dram_reads=0, dram_writes=0,
+    )

@@ -1,0 +1,46 @@
+"""Report formatting helpers."""
+
+from repro.experiments.report import (
+    format_distribution,
+    format_pct,
+    format_scheme_comparison,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len({line.index("value") == lines[0].index("value") for line in lines[:1]})
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table V")
+        assert out.splitlines()[0] == "Table V"
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestFormatPct:
+    def test_sign_always_shown(self):
+        assert format_pct(1.7) == "+1.70%"
+        assert format_pct(-0.8) == "-0.80%"
+
+
+class TestSchemeComparison:
+    def test_renders_all_cells(self):
+        data = {"berti": {"permit": -0.8, "dripper": 1.7}, "bop": {"permit": -0.5, "dripper": 0.9}}
+        out = format_scheme_comparison(data, "Figure 9")
+        assert "berti" in out and "dripper" in out and "+1.70%" in out
+
+
+class TestDistribution:
+    def test_deciles(self):
+        out = format_distribution(list(range(100)))
+        assert len(out.split()) == 11
+
+    def test_empty(self):
+        assert format_distribution([]) == "(no data)"

@@ -1,0 +1,66 @@
+"""Experiment runner: policy factories, run specs, QMM trace halving."""
+
+import pytest
+
+from repro.core.filter import PerceptronFilter
+from repro.core.policies import DiscardPgc, DiscardPtw, PermitPgc
+from repro.experiments.runner import ISO_STORAGE_BYTES, RunSpec, policy_factory, run_one
+from repro.workloads import by_name
+
+
+class TestPolicyFactory:
+    def test_static_policies(self):
+        assert isinstance(policy_factory("discard", "berti")(), DiscardPgc)
+        assert isinstance(policy_factory("permit", "berti")(), PermitPgc)
+        assert isinstance(policy_factory("discard-ptw", "berti")(), DiscardPtw)
+
+    def test_dripper_bound_to_prefetcher(self):
+        dripper = policy_factory("dripper", "bop")()
+        assert dripper.name == "dripper[bop]"
+
+    def test_ppf_variants(self):
+        assert policy_factory("ppf", "berti")().name == "ppf"
+        assert policy_factory("ppf+dthr", "berti")().name == "ppf+dthr"
+
+    def test_fresh_instance_per_call(self):
+        factory = policy_factory("dripper", "berti")
+        assert factory() is not factory()
+
+    def test_iso_maps_to_permit(self):
+        assert isinstance(policy_factory("iso", "berti")(), PermitPgc)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            policy_factory("yolo", "berti")
+
+
+class TestRunSpec:
+    def test_qmm_traces_halved(self):
+        spec = RunSpec(warmup_instructions=10_000, sim_instructions=30_000)
+        qmm = spec.config_for(by_name("qmm_int_13"))
+        spec_w = spec.config_for(by_name("astar"))
+        assert qmm.warmup_instructions == 5_000
+        assert qmm.sim_instructions == 15_000
+        assert spec_w.warmup_instructions == 10_000
+
+    def test_iso_storage_flows_to_prefetcher(self):
+        spec = RunSpec(policy="iso")
+        config = spec.config_for(by_name("astar"))
+        assert config.prefetcher_extra_storage == ISO_STORAGE_BYTES
+
+    def test_non_iso_no_extra_storage(self):
+        config = RunSpec(policy="dripper").config_for(by_name("astar"))
+        assert config.prefetcher_extra_storage == 0
+
+    def test_native_boundary_flag_wraps_factory(self):
+        spec = RunSpec(policy="dripper", filter_at_native_boundary=True)
+        policy = spec.config_for(by_name("astar")).policy_factory()
+        assert isinstance(policy, PerceptronFilter)
+        assert policy.filter_at_native_boundary is True
+
+
+class TestRunOne:
+    def test_runs_quickly_scaled(self):
+        spec = RunSpec(warmup_instructions=1_000, sim_instructions=3_000)
+        result = run_one(by_name("hmmer"), spec)
+        assert result.instructions >= 3_000

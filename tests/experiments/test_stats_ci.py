@@ -1,0 +1,73 @@
+"""Bootstrap confidence intervals."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.stats_ci import bootstrap_geomean, paired_difference_ci
+
+speedup_lists = st.lists(st.floats(min_value=0.5, max_value=2.0), min_size=3, max_size=30)
+
+
+class TestBootstrapGeomean:
+    def test_point_matches_geomean(self):
+        ci = bootstrap_geomean([1.1, 1.1, 1.1, 1.1])
+        assert ci.point_pct == pytest.approx(10.0, abs=1e-9)
+
+    def test_degenerate_sample_zero_width(self):
+        ci = bootstrap_geomean([1.05] * 10)
+        assert ci.width_pct == pytest.approx(0.0, abs=1e-9)
+
+    def test_interval_contains_point(self):
+        ci = bootstrap_geomean([0.9, 1.0, 1.1, 1.3, 0.95, 1.2])
+        assert ci.lo_pct <= ci.point_pct <= ci.hi_pct
+
+    def test_clear_effect_excludes_zero(self):
+        ci = bootstrap_geomean([1.1, 1.15, 1.2, 1.12, 1.18, 1.09])
+        assert ci.excludes_zero()
+
+    def test_noisy_effect_includes_zero(self):
+        ci = bootstrap_geomean([0.8, 1.25, 0.85, 1.2, 0.9, 1.15])
+        assert not ci.excludes_zero()
+
+    def test_deterministic_given_seed(self):
+        data = [0.9, 1.1, 1.05, 1.2]
+        a = bootstrap_geomean(data, seed=7)
+        b = bootstrap_geomean(data, seed=7)
+        assert (a.lo_pct, a.hi_pct) == (b.lo_pct, b.hi_pct)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            bootstrap_geomean([])
+        with pytest.raises(ValueError):
+            bootstrap_geomean([1.0, 0.0])
+
+    @given(speedup_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_interval_ordered(self, speedups):
+        ci = bootstrap_geomean(speedups, resamples=200)
+        assert ci.lo_pct <= ci.hi_pct
+
+    @given(speedup_lists)
+    @settings(max_examples=10, deadline=None)
+    def test_wider_confidence_wider_interval(self, speedups):
+        narrow = bootstrap_geomean(speedups, confidence=0.80, resamples=500)
+        wide = bootstrap_geomean(speedups, confidence=0.99, resamples=500)
+        assert wide.width_pct >= narrow.width_pct - 1e-9
+
+
+class TestPairedDifference:
+    def test_identical_policies_zero(self):
+        a = [1.0, 1.1, 0.9]
+        ci = paired_difference_ci(a, a)
+        assert ci.point_pct == pytest.approx(0.0, abs=1e-9)
+
+    def test_consistent_winner_resolved(self):
+        a = [1.10, 1.21, 0.99, 1.32]
+        b = [1.00, 1.10, 0.90, 1.20]  # a is ~10% faster on every workload
+        ci = paired_difference_ci(a, b)
+        assert ci.excludes_zero()
+        assert ci.point_pct == pytest.approx(10.0, abs=0.5)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            paired_difference_ci([1.0], [1.0, 1.0])

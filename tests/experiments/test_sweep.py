@@ -1,0 +1,54 @@
+"""Parameter-sweep helpers."""
+
+import pytest
+
+from repro.experiments.runner import RunSpec
+from repro.experiments.sweep import (
+    dram_latency_transform,
+    dtlb_size_transform,
+    stlb_size_transform,
+    sweep_epoch_length,
+    sweep_parameter,
+)
+from repro.params import DEFAULT_PARAMS
+from repro.workloads import by_name
+
+TINY_SPEC = RunSpec(warmup_instructions=2_000, sim_instructions=6_000)
+
+
+class TestTransforms:
+    def test_stlb_size(self):
+        p = stlb_size_transform(DEFAULT_PARAMS, 768)
+        assert p.stlb.entries == 768
+        assert p.stlb.ways == DEFAULT_PARAMS.stlb.ways
+        assert p.dtlb == DEFAULT_PARAMS.dtlb
+
+    def test_dtlb_size(self):
+        p = dtlb_size_transform(DEFAULT_PARAMS, 128)
+        assert p.dtlb.entries == 128
+
+    def test_dram_latency(self):
+        p = dram_latency_transform(DEFAULT_PARAMS, 300)
+        assert p.dram.access_latency == 300
+        assert p.dram.transfer_cycles == DEFAULT_PARAMS.dram.transfer_cycles
+
+    def test_transforms_do_not_mutate_default(self):
+        stlb_size_transform(DEFAULT_PARAMS, 768)
+        assert DEFAULT_PARAMS.stlb.entries == 1536
+
+
+@pytest.mark.slow
+class TestSweeps:
+    def test_sweep_parameter_shape(self):
+        workloads = [by_name("hmmer")]
+        data = sweep_parameter(
+            workloads, stlb_size_transform, (768, 1536),
+            policies=("permit",), base_spec=TINY_SPEC,
+        )
+        assert set(data) == {768, 1536}
+        assert set(data[768]) == {"permit"}
+
+    def test_sweep_epoch_length_shape(self):
+        workloads = [by_name("hmmer")]
+        data = sweep_epoch_length(workloads, (512, 2048), base_spec=TINY_SPEC)
+        assert set(data) == {512, 2048}

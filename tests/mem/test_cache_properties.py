@@ -1,0 +1,64 @@
+"""Additional property-based cache invariants (stateful-style sequences)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.cache import Cache
+from repro.params import CacheParams
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["lookup", "fill", "pfill", "invalidate"]),
+        st.integers(min_value=0, max_value=127),
+    ),
+    max_size=300,
+)
+
+
+def run_sequence(cache: Cache, sequence) -> None:
+    t = 0.0
+    for op, line in sequence:
+        if op == "lookup":
+            cache.lookup(line, t)
+        elif op == "fill":
+            cache.fill(line, t, t)
+        elif op == "pfill":
+            cache.fill(line, t, t + 100.0, prefetched=True, pcb=bool(line & 1))
+        else:
+            cache.invalidate(line)
+        t += 1.0
+
+
+class TestSequenceInvariants:
+    @given(ops)
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_and_stats_consistent(self, sequence):
+        cache = Cache(CacheParams("t", 8 * 2 * 64, 2, 1, 4))
+        run_sequence(cache, sequence)
+        assert cache.occupancy() <= 16
+        assert cache.stats.hits + cache.stats.misses == cache.stats.accesses
+        assert cache.demand_stats.accesses <= cache.stats.accesses
+
+    @given(ops)
+    @settings(max_examples=40, deadline=None)
+    def test_usefulness_never_exceeds_fills(self, sequence):
+        cache = Cache(CacheParams("t", 8 * 2 * 64, 2, 1, 4))
+        run_sequence(cache, sequence)
+        cache.finalize()
+        assert cache.prefetch_useful + cache.prefetch_useless <= cache.prefetch_fills
+        assert cache.pgc_useful + cache.pgc_useless <= cache.pgc_fills
+
+    @given(ops)
+    @settings(max_examples=25, deadline=None)
+    def test_fill_then_probe_always_resident(self, sequence):
+        cache = Cache(CacheParams("t", 8 * 2 * 64, 2, 1, 4))
+        t = 0.0
+        for op, line in sequence:
+            if op in ("fill", "pfill"):
+                cache.fill(line, t, t)
+                assert cache.probe(line) is not None
+            elif op == "lookup":
+                cache.lookup(line, t)
+            else:
+                cache.invalidate(line)
+                assert cache.probe(line) is None
+            t += 1.0

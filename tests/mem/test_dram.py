@@ -1,0 +1,102 @@
+"""DRAM latency + bandwidth model."""
+
+import pytest
+
+from repro.mem.dram import Dram
+from repro.params import DramParams
+
+
+def make_dram(channels=2, latency=100, transfer=8):
+    return Dram(DramParams(access_latency=latency, transfer_cycles=transfer, channels=channels))
+
+
+class TestReads:
+    def test_idle_read_costs_access_latency(self):
+        d = make_dram()
+        assert d.read(0, 0.0) == 100.0
+
+    def test_back_to_back_reads_queue(self):
+        d = make_dram(channels=1)
+        d.read(0, 0.0)
+        assert d.read(1, 0.0) == 108.0  # waits one transfer slot
+
+    def test_channels_independent(self):
+        d = make_dram(channels=2)
+        d.read(0, 0.0)  # channel 0
+        assert d.read(1, 0.0) == 100.0  # channel 1, no queueing
+
+    def test_queue_drains(self):
+        d = make_dram(channels=1)
+        d.read(0, 0.0)
+        assert d.read(1, 50.0) == 100.0
+
+    def test_deep_queue_accumulates(self):
+        d = make_dram(channels=1, transfer=10)
+        for k in range(5):
+            d.read(0, 0.0)
+        assert d.read(0, 0.0) == 150.0  # behind 5 transfers
+
+
+class TestWrites:
+    def test_writes_consume_bandwidth(self):
+        d = make_dram(channels=1)
+        d.write(0, 0.0)
+        assert d.read(1, 0.0) == 108.0
+
+    def test_counters(self):
+        d = make_dram()
+        d.read(0, 0.0)
+        d.write(1, 0.0)
+        d.write(3, 0.0)
+        assert d.reads == 1
+        assert d.writes == 2
+
+    def test_snapshot(self):
+        d = make_dram()
+        d.read(0, 0.0)
+        d.snapshot()
+        d.read(0, 1.0)
+        assert d.measured_reads == 1
+        assert d.measured_writes == 0
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two_channels(self):
+        with pytest.raises(ValueError):
+            Dram(DramParams(channels=3))
+
+
+class TestRowBuffer:
+    def make(self):
+        return Dram(DramParams(
+            access_latency=100, transfer_cycles=8, channels=2,
+            row_buffer=True, row_hit_latency=60, lines_per_row=128,
+        ))
+
+    def test_first_access_is_row_miss(self):
+        d = self.make()
+        assert d.read(0, 0.0) == 100.0
+        assert d.row_misses == 1
+
+    def test_same_row_hits(self):
+        d = self.make()
+        d.read(0, 0.0)
+        assert d.read(2, 1000.0) == 60.0  # same channel, same row
+        assert d.row_hits == 1
+
+    def test_far_line_misses_row(self):
+        d = self.make()
+        d.read(0, 0.0)
+        assert d.read(1 << 12, 1000.0) == 100.0
+
+    def test_rejects_bad_bank_count(self):
+        with pytest.raises(ValueError):
+            Dram(DramParams(row_buffer=True, banks_per_channel=3))
+
+    def test_streaming_mostly_row_hits(self):
+        d = self.make()
+        t = 0.0
+        for line in range(512):
+            d.read(line, t)
+            t += 100.0
+        assert d.row_hits > d.row_misses * 3

@@ -1,0 +1,200 @@
+"""Memory hierarchy: access paths, fills, timeliness, writeback chain."""
+
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.params import DEFAULT_PARAMS
+
+
+def make_hierarchy():
+    return MemoryHierarchy(DEFAULT_PARAMS)
+
+
+class TestLoadPath:
+    def test_cold_load_misses_all_levels(self):
+        h = make_hierarchy()
+        latency, hit = h.load(0x1000, 0.0)
+        assert not hit
+        # at least L1D + L2 + LLC + DRAM latencies
+        assert latency >= 5 + 10 + 20 + DEFAULT_PARAMS.dram.access_latency
+
+    def test_cold_load_fills_all_levels(self):
+        h = make_hierarchy()
+        h.load(0x1000, 0.0)
+        line = 0x1000 >> 6
+        assert h.l1d.probe(line) is not None
+        assert h.l2c.probe(line) is not None
+        assert h.llc.probe(line) is not None
+
+    def test_warm_load_hits_l1d(self):
+        h = make_hierarchy()
+        h.load(0x1000, 0.0)
+        latency, hit = h.load(0x1000, 10_000.0)
+        assert hit
+        assert latency == 5.0
+
+    def test_l2_hit_cheaper_than_dram(self):
+        h = make_hierarchy()
+        h.load(0x1000, 0.0)
+        h.l1d.invalidate(0x1000 >> 6)
+        latency, hit = h.load(0x1000, 10_000.0)
+        assert not hit
+        assert latency == 5 + 10  # L1D lookup + L2 hit
+
+    def test_demand_merge_into_outstanding_miss(self):
+        h = make_hierarchy()
+        lat1, _ = h.load(0x1000, 0.0)
+        h.l1d.invalidate(0x1000 >> 6)  # force re-lookup while still in MSHR
+        lat2, hit = h.load(0x1000, 1.0)
+        assert not hit
+        assert lat2 <= lat1  # merged: waits only the residual
+
+
+class TestPrefetchPath:
+    def test_prefetch_fill_sets_pcb(self):
+        h = make_hierarchy()
+        ready = h.prefetch_l1d(0x1000, 0.0, pcb=True)
+        assert ready is not None
+        block = h.l1d.probe(0x1000 >> 6)
+        assert block.pcb and block.prefetched
+
+    def test_prefetch_dropped_when_resident(self):
+        h = make_hierarchy()
+        h.load(0x1000, 0.0)
+        assert h.prefetch_l1d(0x1000, 1.0) is None
+
+    def test_prefetch_dropped_when_in_flight(self):
+        h = make_hierarchy()
+        h.prefetch_l1d(0x1000, 0.0)
+        h.l1d.invalidate(0x1000 >> 6)
+        assert h.prefetch_l1d(0x1000, 1.0) is None
+
+    def test_late_prefetch_pays_residual(self):
+        h = make_hierarchy()
+        ready = h.prefetch_l1d(0x1000, 0.0, pcb=True)
+        latency, hit = h.load(0x1000, 10.0)
+        assert hit
+        assert latency == ready - 10.0
+        assert latency > 5
+
+    def test_timely_prefetch_full_hit(self):
+        h = make_hierarchy()
+        h.prefetch_l1d(0x1000, 0.0)
+        latency, hit = h.load(0x1000, 10_000.0)
+        assert hit
+        assert latency == 5.0
+        assert h.l1d.prefetch_late == 0
+
+    def test_late_prefetch_counted(self):
+        h = make_hierarchy()
+        h.prefetch_l1d(0x1000, 0.0)
+        h.load(0x1000, 10.0)
+        assert h.l1d.prefetch_late == 1
+
+    def test_l2_prefetch_fills_l2_not_l1(self):
+        h = make_hierarchy()
+        h.prefetch_l2(0x1000, 0.0)
+        line = 0x1000 >> 6
+        assert h.l1d.probe(line) is None
+        assert h.l2c.probe(line) is not None
+
+
+class TestPtwPath:
+    def test_ptw_read_fills_l2_and_llc_not_l1(self):
+        h = make_hierarchy()
+        h.ptw_read(0x5000, 0.0, speculative=False)
+        line = 0x5000 >> 6
+        assert h.l2c.probe(line) is not None
+        assert h.llc.probe(line) is not None
+        assert h.l1d.probe(line) is None
+
+    def test_warm_ptw_read_is_cheap(self):
+        h = make_hierarchy()
+        cold = h.ptw_read(0x5000, 0.0, speculative=False)
+        warm = h.ptw_read(0x5000, 10_000.0, speculative=False)
+        assert warm == 10.0
+        assert cold > warm
+
+
+class TestIfetchPath:
+    def test_ifetch_fills_l1i_not_l1d(self):
+        h = make_hierarchy()
+        h.ifetch(0x400000, 0.0)
+        line = 0x400000 >> 6
+        assert h.l1i.probe(line) is not None
+        assert h.l1d.probe(line) is None
+
+    def test_l1i_prefetch(self):
+        h = make_hierarchy()
+        h.prefetch_l1i(0x400040, 0.0)
+        block = h.l1i.probe(0x400040 >> 6)
+        assert block is not None and block.prefetched
+
+
+class TestWritebackChain:
+    def test_store_marks_dirty(self):
+        h = make_hierarchy()
+        h.store(0x1000, 0.0)
+        assert h.l1d.probe(0x1000 >> 6).dirty
+
+    def test_dirty_l1_eviction_lands_in_l2(self):
+        h = make_hierarchy()
+        h.store(0x1000, 0.0)
+        line = 0x1000 >> 6
+        h.l2c.invalidate(line)
+        # force eviction: fill the same L1D set beyond capacity
+        ways = DEFAULT_PARAMS.l1d.ways
+        sets = DEFAULT_PARAMS.l1d.sets
+        for k in range(1, ways + 1):
+            h.l1d.fill(line + k * sets, 10.0, 10.0)
+        assert h.l1d.probe(line) is None
+        assert h.l2c.probe(line) is not None
+        assert h.l2c.probe(line).dirty
+
+    def test_dram_write_traffic_from_llc_eviction(self):
+        h = make_hierarchy()
+        h.store(0x1000, 0.0)
+        line = 0x1000 >> 6
+        block = h.llc.probe(line)
+        block.dirty = True
+        sets = DEFAULT_PARAMS.llc.sets
+        for k in range(1, DEFAULT_PARAMS.llc.ways + 1):
+            h.llc.fill(line + k * sets, 10.0, 10.0)
+        assert h.dram.writes >= 1
+
+
+class TestSharedLlc:
+    def test_two_hierarchies_share_llc(self):
+        from repro.mem.cache import Cache
+        from repro.mem.dram import Dram
+
+        dram = Dram(DEFAULT_PARAMS.dram)
+        llc = Cache(DEFAULT_PARAMS.llc, writeback=dram.write)
+        h1 = MemoryHierarchy(DEFAULT_PARAMS, shared_llc=llc, shared_dram=dram)
+        h2 = MemoryHierarchy(DEFAULT_PARAMS, shared_llc=llc, shared_dram=dram)
+        h1.load(0x1000, 0.0)
+        latency, hit = h2.load(0x1000, 10_000.0)
+        assert not hit  # private L1/L2 miss...
+        assert latency <= 5 + 10 + 20  # ...but the shared LLC hits
+
+
+class TestPerCoreLlcView:
+    def test_core_stats_track_own_demand_only(self):
+        from repro.mem.cache import Cache
+        from repro.mem.dram import Dram
+
+        dram = Dram(DEFAULT_PARAMS.dram)
+        llc = Cache(DEFAULT_PARAMS.llc, writeback=dram.write)
+        a = MemoryHierarchy(DEFAULT_PARAMS, shared_llc=llc, shared_dram=dram)
+        b = MemoryHierarchy(DEFAULT_PARAMS, shared_llc=llc, shared_dram=dram)
+        for i in range(10):
+            a.load(0x100000 + i * 0x1000, float(i))
+        b.load(0x900000, 100.0)
+        assert a.llc_core_stats.accesses == 10
+        assert b.llc_core_stats.accesses == 1
+        assert llc.stats.accesses == 11
+
+    def test_prefetch_traffic_not_in_core_demand_view(self):
+        h = MemoryHierarchy(DEFAULT_PARAMS)
+        h.prefetch_l1d(0x1000, 0.0)
+        assert h.llc_core_stats.accesses == 0
+        h.load(0x2000, 1.0)
+        assert h.llc_core_stats.accesses == 1

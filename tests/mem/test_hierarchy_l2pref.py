@@ -1,0 +1,53 @@
+"""L2 prefetch path and miscellaneous hierarchy behaviour."""
+
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.params import DEFAULT_PARAMS
+
+
+def make():
+    return MemoryHierarchy(DEFAULT_PARAMS)
+
+
+class TestL2PrefetchPath:
+    def test_dropped_when_l2_resident(self):
+        h = make()
+        h.load(0x1000, 0.0)
+        assert h.prefetch_l2(0x1000, 10.0) is None
+
+    def test_dropped_when_in_flight(self):
+        h = make()
+        h.prefetch_l2(0x1000, 0.0)
+        h.l2c.invalidate(0x1000 >> 6)
+        assert h.prefetch_l2(0x1000, 1.0) is None
+
+    def test_l2_prefetch_hits_llc_cheaply(self):
+        h = make()
+        h.load(0x1000, 0.0)           # fills all levels
+        h.l2c.invalidate(0x1000 >> 6)
+        ready = h.prefetch_l2(0x1000, 10_000.0)
+        assert ready is not None
+        assert ready - 10_000.0 <= 10 + 20 + 5  # L2 + LLC latencies only
+
+    def test_demand_after_l2_prefetch_misses_l1_hits_l2(self):
+        h = make()
+        h.prefetch_l2(0x1000, 0.0)
+        latency, hit = h.load(0x1000, 10_000.0)
+        assert not hit
+        assert latency == 5 + 10
+
+
+class TestPrefetchUsefulnessAtL2:
+    def test_l2_prefetch_usefulness_tracked(self):
+        h = make()
+        h.prefetch_l2(0x1000, 0.0)
+        h.l1d.invalidate(0x1000 >> 6)
+        h.load(0x1000, 10_000.0)  # demand L2 access hits the prefetched block
+        assert h.l2c.prefetch_useful == 1
+
+
+class TestMshrPressureVisibility:
+    def test_in_flight_count_rises_with_misses(self):
+        h = make()
+        for i in range(6):
+            h.load(0x100000 * (i + 1), 0.0)
+        assert h.l1d.in_flight_misses >= 6

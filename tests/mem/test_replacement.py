@@ -1,0 +1,138 @@
+"""Replacement policies: LRU, prefetch-aware LRU, SRRIP/BRRIP, random."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.cache import Block, Cache
+from repro.mem.replacement import (
+    BrripPolicy,
+    LruPolicy,
+    PrefetchAwareLruPolicy,
+    RandomPolicy,
+    SrripPolicy,
+    make_replacement_policy,
+)
+from repro.params import CacheParams
+
+
+def blocks(n):
+    return {i: Block(i, 0, 0.0, False, False) for i in range(n)}
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name, cls in (
+            ("lru", LruPolicy), ("pa-lru", PrefetchAwareLruPolicy),
+            ("srrip", SrripPolicy), ("brrip", BrripPolicy), ("random", RandomPolicy),
+        ):
+            assert isinstance(make_replacement_policy(name), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_replacement_policy("LRU"), LruPolicy)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_replacement_policy("belady")
+
+
+class TestLru:
+    def test_victim_is_least_recent(self):
+        p = LruPolicy()
+        bs = blocks(3)
+        for i in (0, 1, 2):
+            p.on_fill(bs[i], False)
+        p.on_hit(bs[0])
+        assert p.victim(bs) == 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=50))
+    @settings(max_examples=30)
+    def test_most_recent_never_victim(self, touches):
+        p = LruPolicy()
+        bs = blocks(4)
+        for b in bs.values():
+            p.on_fill(b, False)
+        for i in touches:
+            p.on_hit(bs[i])
+        assert p.victim(bs) != touches[-1]
+
+
+class TestPrefetchAwareLru:
+    def test_prefetched_block_evicted_first(self):
+        p = PrefetchAwareLruPolicy()
+        bs = blocks(3)
+        p.on_fill(bs[0], False)
+        p.on_fill(bs[1], True)  # prefetched, inserted at LRU end
+        p.on_fill(bs[2], False)
+        assert p.victim(bs) == 1
+
+    def test_hit_promotes_prefetched_block(self):
+        p = PrefetchAwareLruPolicy()
+        bs = blocks(3)
+        p.on_fill(bs[0], False)
+        p.on_fill(bs[1], True)
+        p.on_fill(bs[2], False)
+        p.on_hit(bs[1])
+        assert p.victim(bs) == 0
+
+
+class TestSrrip:
+    def test_hit_protects(self):
+        p = SrripPolicy()
+        bs = blocks(2)
+        p.on_fill(bs[0], False)
+        p.on_fill(bs[1], False)
+        p.on_hit(bs[0])
+        assert p.victim(bs) == 1
+
+    def test_always_terminates(self):
+        p = SrripPolicy()
+        bs = blocks(8)
+        for b in bs.values():
+            p.on_fill(b, False)
+            p.on_hit(b)
+        assert p.victim(bs) in bs
+
+
+class TestBrrip:
+    def test_most_fills_inserted_distant(self):
+        p = BrripPolicy()
+        bs = blocks(32)
+        for b in bs.values():
+            p.on_fill(b, False)
+        distant = sum(1 for b in bs.values() if b.lru == 3)
+        assert distant >= 30
+
+
+class TestRandom:
+    def test_deterministic_sequence(self):
+        a, b = RandomPolicy(seed=5), RandomPolicy(seed=5)
+        bs = blocks(8)
+        assert [a.victim(bs) for _ in range(10)] == [b.victim(bs) for _ in range(10)]
+
+    def test_victims_spread(self):
+        p = RandomPolicy()
+        bs = blocks(8)
+        assert len({p.victim(bs) for _ in range(100)}) > 3
+
+
+class TestCacheIntegration:
+    def make_cache(self, replacement):
+        params = CacheParams("t", 4 * 2 * 64, 2, 1, 4, replacement=replacement)
+        return Cache(params)
+
+    @pytest.mark.parametrize("policy", ["lru", "pa-lru", "srrip", "brrip", "random"])
+    def test_cache_works_with_every_policy(self, policy):
+        c = self.make_cache(policy)
+        for i in range(50):
+            c.lookup(i % 12, float(i))
+            c.fill(i % 12, float(i), float(i))
+        assert c.occupancy() <= 8
+
+    def test_pa_lru_protects_demand_blocks(self):
+        c = self.make_cache("pa-lru")
+        c.fill(0, 0.0, 0.0)               # demand
+        c.lookup(0, 0.5)
+        c.fill(4, 1.0, 1.0, prefetched=True)   # same set, prefetched
+        c.fill(8, 2.0, 2.0)               # forces an eviction
+        assert c.probe(0) is not None
+        assert c.probe(4) is None

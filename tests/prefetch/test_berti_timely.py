@@ -1,0 +1,68 @@
+"""Berti measured-latency variant."""
+
+from repro.prefetch import make_l1d_prefetcher
+from repro.prefetch.berti_timely import BertiTimelyPrefetcher
+from repro.vm.address import LINE_SHIFT
+
+
+def run_stream(p, count, spacing, pc=0x400):
+    requests = []
+    t = 0.0
+    for i in range(count):
+        requests = p.on_access(pc, (i * 2) << LINE_SHIFT, False, t)
+        t += spacing
+    return requests
+
+
+class TestLatencyCalibration:
+    def test_default_horizon_used_before_fills(self):
+        p = BertiTimelyPrefetcher()
+        entry = p._entry(0x400)
+        assert entry.avg_latency == 120.0
+
+    def test_on_fill_moves_average(self):
+        p = BertiTimelyPrefetcher(latency_smoothing=0.5)
+        p.on_access(0x400, 0x1000, False, 0.0)
+        p.on_fill(0x1000, 200.0)
+        assert p._table[0x400].avg_latency == 0.5 * 120.0 + 0.5 * 200.0
+
+    def test_fill_before_any_access_is_safe(self):
+        p = BertiTimelyPrefetcher()
+        p.on_fill(0x1000, 200.0)  # no table entry yet: must not crash
+
+
+class TestTimeliness:
+    def test_slow_stream_learns(self):
+        p = BertiTimelyPrefetcher()
+        requests = run_stream(p, 100, spacing=150.0)  # slower than the horizon
+        assert requests, "widely spaced accesses leave timely anchors"
+
+    def test_fast_stream_stays_quiet(self):
+        p = BertiTimelyPrefetcher()
+        requests = run_stream(p, 100, spacing=5.0)  # whole history within horizon
+        assert requests == []
+
+    def test_lower_measured_latency_unlocks_prefetching(self):
+        p = BertiTimelyPrefetcher(latency_smoothing=1.0)
+        p.on_access(0x400, 0, False, 0.0)
+        p.on_fill(0, 20.0)  # cheap fills -> short horizon
+        requests = run_stream(p, 100, spacing=25.0)
+        assert requests
+
+
+class TestFactoryAndEngine:
+    def test_registered(self):
+        assert make_l1d_prefetcher("berti-timely").name == "berti-timely"
+
+    def test_simulates_end_to_end(self):
+        from repro.core.policies import PermitPgc
+        from repro.cpu.simulator import SimConfig, simulate
+        from repro.workloads import by_name
+
+        config = SimConfig(
+            prefetcher="berti-timely", policy_factory=PermitPgc,
+            warmup_instructions=4_000, sim_instructions=12_000,
+        )
+        result = simulate(by_name("libquantum"), config)
+        assert result.prefetcher == "berti-timely"
+        assert result.prefetch_fills > 0

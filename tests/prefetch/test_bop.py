@@ -1,0 +1,75 @@
+"""BOP: offset scoring, phase ends, best-offset selection."""
+
+from repro.prefetch.bop import BopPrefetcher, DEFAULT_OFFSETS
+from repro.vm.address import LINE_SHIFT
+
+
+def run_stream(p: BopPrefetcher, count: int, stride: int = 1, start: int = 0):
+    requests = []
+    for i in range(count):
+        requests = p.on_access(0x400, (start + i * stride) << LINE_SHIFT, False, float(i))
+    return requests
+
+
+class TestLearning:
+    def test_learns_offset_on_stream(self):
+        p = BopPrefetcher()
+        run_stream(p, 2000)
+        assert p.best_offset != 0
+
+    def test_learned_offset_positive_for_ascending_stream(self):
+        p = BopPrefetcher()
+        run_stream(p, 2000)
+        assert p.best_offset > 0
+
+    def test_no_offset_on_random(self):
+        p = BopPrefetcher(round_max=5)
+        lines = [(i * 48271 + 11) % (1 << 20) for i in range(3000)]
+        for i, line in enumerate(lines):
+            p.on_access(0x400, line << LINE_SHIFT, False, float(i))
+        assert p.best_offset == 0
+
+    def test_score_max_ends_phase_early(self):
+        p = BopPrefetcher(score_max=4, round_max=1000)
+        run_stream(p, 1500)
+        assert p.best_offset != 0
+
+    def test_round_max_ends_phase(self):
+        p = BopPrefetcher(round_max=2)
+        lines = [(i * 48271 + 11) % (1 << 20) for i in range(2 * len(DEFAULT_OFFSETS) + 5)]
+        for i, line in enumerate(lines):
+            p.on_access(0x400, line << LINE_SHIFT, False, float(i))
+        # after two full sweeps without evidence the phase resets with no offset
+        assert p.best_offset == 0
+        assert p._round == 0
+
+
+class TestRequests:
+    def test_requests_use_best_offset(self):
+        p = BopPrefetcher(degree=2)
+        requests = run_stream(p, 2000)
+        assert len(requests) == 2
+        assert requests[1].delta == 2 * requests[0].delta
+
+    def test_no_requests_before_learning(self):
+        p = BopPrefetcher()
+        requests = p.on_access(0x400, 0x1000, False, 0.0)
+        assert requests == []
+
+    def test_offsets_list_is_michaud_style(self):
+        # products of 2^i 3^j 5^k only (for the positive side)
+        for offset in DEFAULT_OFFSETS:
+            n = abs(offset)
+            for factor in (2, 3, 5):
+                while n % factor == 0:
+                    n //= factor
+            assert n == 1, offset
+
+
+class TestRrTable:
+    def test_rr_size_power_of_two(self):
+        assert BopPrefetcher(rr_entries=64).rr_entries == 64
+        assert BopPrefetcher(rr_entries=100).rr_entries == 64
+
+    def test_extra_storage_grows_rr(self):
+        assert BopPrefetcher(extra_storage_bytes=1475).rr_entries > BopPrefetcher().rr_entries

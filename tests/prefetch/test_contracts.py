@@ -1,0 +1,59 @@
+"""Contract tests every L1D prefetcher must satisfy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.prefetch import make_l1d_prefetcher
+from repro.vm.address import LINE_SHIFT
+
+PREFETCHERS = ("berti", "ipcp", "bop", "stride", "next-line")
+
+access_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0x400, max_value=0x40F),       # pc
+        st.integers(min_value=0, max_value=(1 << 24) - 1),   # line
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+
+@pytest.mark.parametrize("name", PREFETCHERS)
+class TestContracts:
+    def test_request_geometry(self, name):
+        """vaddr must equal trigger + delta lines, delta nonzero, meta >= 0."""
+        p = make_l1d_prefetcher(name)
+        t = 0.0
+        for i in range(300):
+            trigger = (1000 + i * 3) << LINE_SHIFT
+            for req in p.on_access(0x400, trigger, False, t):
+                assert req.delta != 0
+                assert req.vaddr == trigger + (req.delta << LINE_SHIFT)
+                assert req.meta >= 0
+                assert req.pc == 0x400
+            t += 50.0
+
+    def test_deterministic(self, name):
+        def run():
+            p = make_l1d_prefetcher(name)
+            out = []
+            for i in range(200):
+                out.extend(
+                    (r.vaddr, r.delta)
+                    for r in p.on_access(0x400 + i % 3, (i * 5) << LINE_SHIFT, False, float(i))
+                )
+            return out
+
+        assert run() == run()
+
+    @given(accesses=access_lists)
+    @settings(max_examples=10, deadline=None)
+    def test_never_crashes_on_arbitrary_streams(self, name, accesses):
+        p = make_l1d_prefetcher(name)
+        for i, (pc, line) in enumerate(accesses):
+            requests = p.on_access(pc, line << LINE_SHIFT, bool(i % 2), float(i))
+            assert isinstance(requests, list)
+
+    def test_none_prefetcher_always_empty(self, name):
+        p = make_l1d_prefetcher("none")
+        assert p.on_access(0x400, 0x1000, False, 0.0) == []

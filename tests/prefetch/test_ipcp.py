@@ -1,0 +1,72 @@
+"""IPCP: CS / CPLX / GS classification behaviour."""
+
+from repro.prefetch.ipcp import IpcpPrefetcher
+from repro.vm.address import LINE_SHIFT
+
+
+def access(p, pc, line, t=0.0):
+    return p.on_access(pc, line << LINE_SHIFT, False, t)
+
+
+class TestConstantStride:
+    def test_cs_class_after_confirmation(self):
+        p = IpcpPrefetcher()
+        requests = []
+        for i in range(6):
+            requests = access(p, 0x400, i * 7)
+        assert len(requests) == p.cs_degree
+        deltas = [r.delta for r in requests]
+        assert deltas == [7, 14, 21]
+
+    def test_negative_stride(self):
+        p = IpcpPrefetcher()
+        for i in range(6):
+            requests = access(p, 0x400, 10_000 - i * 3)
+        assert [r.delta for r in requests] == [-3, -6, -9]
+
+    def test_repeated_stride_changes_reset_confidence(self):
+        p = IpcpPrefetcher()
+        for i in range(6):
+            access(p, 0x400, i * 7)
+        # one deviation only dents confidence; a burst of them clears CS
+        for line in (1_000, 5_000, 2_000, 9_000):
+            access(p, 0x400, line)
+        assert p._table[0x400].conf < 2
+
+
+class TestComplex:
+    def test_cplx_learns_repeating_delta_pattern(self):
+        p = IpcpPrefetcher(cs_degree=3)
+        pattern = [3, 1, 4, 1, 5]  # non-constant, repeating
+        line = 0
+        requests = []
+        for _ in range(30):
+            for d in pattern:
+                line += d
+                requests = access(p, 0x400, line)
+        assert requests, "CPLX should predict a repeating delta sequence"
+
+    def test_cplx_table_bounded(self):
+        p = IpcpPrefetcher(cplx_table_entries=16)
+        line = 0
+        for i in range(500):
+            line += (i % 13) + 1
+            access(p, 0x400, line)
+        assert len(p._cplx) <= 16
+
+
+class TestGlobalStream:
+    def test_gs_detects_global_direction(self):
+        p = IpcpPrefetcher()
+        requests = []
+        # interleave two IPs walking the same +1 stream: each IP's local
+        # stride is 2, but the global stream advances +1 per access
+        for i in range(20):
+            requests = access(p, 0x400 + (i % 2), i)
+        assert p._gs_conf > 0
+
+    def test_ip_table_bounded(self):
+        p = IpcpPrefetcher(ip_table_entries=4)
+        for pc in range(50):
+            access(p, pc, pc)
+        assert len(p._table) <= 4

@@ -1,0 +1,72 @@
+"""SPP at L2: signature learning, lookahead, in-page restriction."""
+
+from repro.prefetch.spp import SppPrefetcher
+from repro.vm.address import LINES_PER_PAGE_4K
+
+
+def run_page_stream(p: SppPrefetcher, page: int, deltas, repeats=10):
+    targets = []
+    offset = 0
+    for _ in range(repeats):
+        offset = 0
+        for d in deltas:
+            offset += d
+            if not 0 <= offset < LINES_PER_PAGE_4K:
+                break
+            targets = p.on_access(page * LINES_PER_PAGE_4K + offset, 0.0)
+    return targets
+
+
+class TestLearning:
+    def test_predicts_constant_delta(self):
+        p = SppPrefetcher()
+        targets = run_page_stream(p, 5, [2] * 20, repeats=5)
+        assert targets, "SPP should predict a constant +2 pattern"
+
+    def test_lookahead_produces_multiple_targets(self):
+        p = SppPrefetcher(lookahead_depth=3, confidence_threshold=0.2)
+        targets = run_page_stream(p, 5, [1] * 30, repeats=5)
+        assert len(targets) >= 2
+
+    def test_pattern_shared_across_pages(self):
+        p = SppPrefetcher()
+        run_page_stream(p, 5, [3] * 15, repeats=5)
+        # a fresh page with the same signature path predicts immediately
+        targets = run_page_stream(p, 9, [3] * 3, repeats=1)
+        assert targets
+
+
+class TestInPageRestriction:
+    def test_never_crosses_page(self):
+        p = SppPrefetcher(confidence_threshold=0.1)
+        collected = []
+        for rep in range(20):
+            for off in range(0, LINES_PER_PAGE_4K, 4):
+                collected.extend(p.on_access(7 * LINES_PER_PAGE_4K + off, 0.0))
+        for line in collected:
+            assert line // LINES_PER_PAGE_4K == 7
+
+    def test_prediction_stops_at_page_edge(self):
+        p = SppPrefetcher(confidence_threshold=0.1)
+        targets = []
+        for rep in range(10):
+            for off in range(0, LINES_PER_PAGE_4K, 16):
+                targets = p.on_access(3 * LINES_PER_PAGE_4K + off, 0.0)
+        last_off = LINES_PER_PAGE_4K - 16
+        final = p.on_access(3 * LINES_PER_PAGE_4K + last_off, 0.0)
+        for line in final:
+            assert line % LINES_PER_PAGE_4K > last_off
+
+
+class TestTables:
+    def test_signature_table_bounded(self):
+        p = SppPrefetcher(signature_table_entries=8)
+        for page in range(50):
+            p.on_access(page * LINES_PER_PAGE_4K, 0.0)
+        assert len(p._pages) <= 8
+
+    def test_pattern_table_bounded(self):
+        p = SppPrefetcher(pattern_table_entries=8)
+        for i in range(500):
+            p.on_access((i * 17) % (64 * LINES_PER_PAGE_4K), 0.0)
+        assert len(p._patterns) <= 8

@@ -1,0 +1,58 @@
+"""Baseline stride and next-line L1D prefetchers."""
+
+from repro.prefetch import make_l1d_prefetcher
+from repro.prefetch.stride import NextLineDataPrefetcher, StridePrefetcher
+from repro.vm.address import LINE_SHIFT
+
+
+def run(p, lines, pc=0x400):
+    out = []
+    for i, line in enumerate(lines):
+        out = p.on_access(pc, line << LINE_SHIFT, False, float(i))
+    return out
+
+
+class TestStride:
+    def test_learns_constant_stride(self):
+        p = StridePrefetcher(degree=2)
+        requests = run(p, [i * 5 for i in range(8)])
+        assert [r.delta for r in requests] == [5, 10]
+
+    def test_no_prefetch_before_confidence(self):
+        p = StridePrefetcher()
+        assert run(p, [0, 5]) == []
+
+    def test_irregular_stream_silent(self):
+        p = StridePrefetcher()
+        lines = [((i * 2654435761) >> 7) % 10_000 for i in range(100)]
+        requests = run(p, lines)
+        assert requests == []
+
+    def test_table_bounded(self):
+        p = StridePrefetcher(table_entries=4)
+        for pc in range(50):
+            p.on_access(pc, 0x1000, False, 0.0)
+        assert len(p._table) <= 4
+
+    def test_negative_stride(self):
+        p = StridePrefetcher(degree=1)
+        requests = run(p, [1000 - i * 3 for i in range(8)])
+        assert [r.delta for r in requests] == [-3]
+
+
+class TestNextLineData:
+    def test_always_prefetches_next(self):
+        p = NextLineDataPrefetcher(degree=2)
+        requests = p.on_access(0x400, 0x1000, False, 0.0)
+        assert [r.delta for r in requests] == [1, 2]
+
+    def test_crosses_page_at_edge(self):
+        p = NextLineDataPrefetcher(degree=1)
+        requests = p.on_access(0x400, 0x1FC0, False, 0.0)  # last line of page 1
+        assert requests[0].vaddr >> 12 == 2
+
+
+class TestFactory:
+    def test_new_names_registered(self):
+        assert make_l1d_prefetcher("stride").name == "stride"
+        assert make_l1d_prefetcher("next-line").name == "next-line"

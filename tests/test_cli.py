@@ -1,0 +1,88 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--workload", "astar"])
+        args2 = build_parser().parse_args(["compare", "--workload", "astar"])
+        assert args.policy == "dripper"
+        assert args2.policies == ["discard", "permit", "dripper"]
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "astar", "--policy", "magic"])
+
+
+class TestCommands:
+    def test_storage(self, capsys):
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "pub" in out
+
+    def test_features(self, capsys):
+        assert main(["features"]) == 0
+        out = capsys.readouterr().out
+        assert "55 program features" in out
+        assert "6 system features" in out
+
+    def test_workloads_filtered(self, capsys):
+        assert main(["workloads", "--set", "seen", "--suite", "GAP"]) == 0
+        out = capsys.readouterr().out
+        assert "cc.road" in out
+        assert "astar" not in out
+
+    def test_run_small(self, capsys):
+        code = main([
+            "run", "--workload", "hmmer", "--policy", "discard",
+            "--warmup", "1000", "--sim", "3000",
+        ])
+        assert code == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_compare_small(self, capsys):
+        code = main([
+            "compare", "--workload", "hmmer", "--policies", "discard", "permit",
+            "--warmup", "1000", "--sim", "3000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "permit-pgc" in out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "--workload", "nope", "--warmup", "100", "--sim", "100"])
+
+
+class TestTraceCommands:
+    def test_snapshot_and_replay(self, tmp_path, capsys):
+        out = tmp_path / "snap.rptr"
+        assert main(["snapshot", "--workload", "hmmer", "--out", str(out), "--instructions", "2000"]) == 0
+        assert out.exists()
+        code = main([
+            "run", "--trace-file", str(out), "--policy", "discard",
+            "--warmup", "500", "--sim", "1000",
+        ])
+        assert code == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_workload_and_trace_file_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "run", "--workload", "astar", "--trace-file", "x.rptr",
+            ])
+
+
+class TestPrefetcherChoices:
+    def test_all_registered_prefetchers_accepted(self):
+        for name in ("berti", "berti-timely", "ipcp", "bop", "stride", "next-line", "none"):
+            args = build_parser().parse_args(["run", "--workload", "astar", "--prefetcher", name])
+            assert args.prefetcher == name

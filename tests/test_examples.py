@@ -1,0 +1,39 @@
+"""Example scripts: importable, documented, runnable shape."""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+class TestExampleHygiene:
+    def test_at_least_five_examples(self):
+        assert len(EXAMPLES) >= 5
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_parses_and_has_main_guard(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"
+        source = path.read_text()
+        assert 'if __name__ == "__main__":' in source
+        assert "def main(" in source
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_docstring_has_usage_line(self, path):
+        doc = ast.get_docstring(ast.parse(path.read_text()))
+        assert "Usage" in doc, f"{path.name} docstring lacks a Usage section"
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_imports_resolve(self, path):
+        """Compile and execute only the import statements of each example."""
+        tree = ast.parse(path.read_text())
+        imports = [node for node in tree.body if isinstance(node, (ast.Import, ast.ImportFrom))]
+        module = ast.Module(body=imports, type_ignores=[])
+        exec(compile(module, str(path), "exec"), {})  # noqa: S102
+
+    def test_quickstart_is_first_example_in_readme(self):
+        readme = (Path(__file__).resolve().parent.parent / "README.md").read_text()
+        for path in EXAMPLES:
+            assert path.name in readme, f"{path.name} not mentioned in README"

@@ -1,0 +1,103 @@
+"""Integration tests: the paper's headline behaviours on small runs.
+
+These run real simulations (a few seconds total) and assert the *shape* of
+the results — the same shapes the benchmarks reproduce at larger scale.
+"""
+
+import pytest
+
+from repro.core.policies import DiscardPgc, PermitPgc
+from repro.core.dripper import make_dripper
+from repro.cpu.simulator import SimConfig, simulate
+from repro.workloads import by_name
+
+
+def run(workload_name, policy_factory, prefetcher="berti", warm=8_000, sim=24_000):
+    config = SimConfig(
+        prefetcher=prefetcher, policy_factory=policy_factory,
+        warmup_instructions=warm, sim_instructions=sim,
+    )
+    return simulate(by_name(workload_name), config)
+
+
+@pytest.fixture(scope="module")
+def friendly():
+    """libquantum: a pure stream — page-cross prefetching is all upside."""
+    return {
+        "discard": run("libquantum", DiscardPgc),
+        "permit": run("libquantum", PermitPgc),
+        "dripper": run("libquantum", lambda: make_dripper("berti")),
+    }
+
+
+@pytest.fixture(scope="module")
+def hostile():
+    """fotonik3d_s: page-tiled — page-cross prefetching is all downside."""
+    return {
+        "discard": run("fotonik3d_s", DiscardPgc),
+        "permit": run("fotonik3d_s", PermitPgc),
+        "dripper": run("fotonik3d_s", lambda: make_dripper("berti")),
+    }
+
+
+class TestFriendlyWorkload:
+    def test_permit_beats_discard(self, friendly):
+        assert friendly["permit"].ipc > friendly["discard"].ipc * 1.02
+
+    def test_permit_reduces_l1d_mpki(self, friendly):
+        assert friendly["permit"].l1d_mpki < friendly["discard"].l1d_mpki * 0.8
+
+    def test_permit_reduces_dtlb_mpki(self, friendly):
+        assert friendly["permit"].dtlb_mpki < friendly["discard"].dtlb_mpki
+
+    def test_page_cross_prefetches_are_useful(self, friendly):
+        r = friendly["permit"]
+        assert r.pgc_useful > 10 * max(1, r.pgc_useless)
+
+    def test_dripper_tracks_permit(self, friendly):
+        assert friendly["dripper"].ipc >= friendly["permit"].ipc * 0.97
+
+    def test_dripper_issues_most_candidates(self, friendly):
+        r = friendly["dripper"]
+        assert r.pgc_issued > 0.8 * (r.pgc_issued + r.pgc_discarded)
+
+    def test_speculative_walks_warm_the_tlb(self, friendly):
+        assert friendly["permit"].speculative_walks > 0
+        assert friendly["permit"].tlb_prefetch_hits > 0
+
+
+class TestHostileWorkload:
+    def test_discard_beats_permit(self, hostile):
+        assert hostile["discard"].ipc > hostile["permit"].ipc * 1.05
+
+    def test_page_cross_prefetches_are_useless(self, hostile):
+        r = hostile["permit"]
+        assert r.pgc_useless > 10 * max(1, r.pgc_useful)
+
+    def test_dripper_tracks_discard(self, hostile):
+        assert hostile["dripper"].ipc >= hostile["discard"].ipc * 0.99
+
+    def test_dripper_filters_nearly_everything(self, hostile):
+        r = hostile["dripper"]
+        assert r.pgc_discarded > 0.9 * (r.pgc_issued + r.pgc_discarded)
+
+    def test_permit_wastes_dram_traffic(self, hostile):
+        assert hostile["permit"].dram_reads > hostile["discard"].dram_reads
+
+
+class TestDripperAcrossPrefetchers:
+    @pytest.mark.parametrize("prefetcher", ["berti", "bop", "ipcp"])
+    def test_dripper_never_loses_badly_on_hostile(self, prefetcher):
+        discard = run("sphinx3", DiscardPgc, prefetcher, warm=5_000, sim=15_000)
+        dripper = run("sphinx3", lambda: make_dripper(prefetcher), prefetcher, warm=5_000, sim=15_000)
+        assert dripper.ipc >= discard.ipc * 0.98
+
+
+class TestConservationProperties:
+    def test_pgc_accounting_consistent(self, friendly, hostile):
+        for r in (*friendly.values(), *hostile.values()):
+            assert r.pgc_useful + r.pgc_useless <= r.pgc_issued
+            assert r.pgc_discarded + r.pgc_issued <= r.pgc_candidates + r.pgc_issued
+
+    def test_discard_never_walks_speculatively(self, friendly):
+        assert friendly["discard"].speculative_walks == 0

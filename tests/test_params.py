@@ -1,0 +1,104 @@
+"""Table IV system configuration tests."""
+
+import pytest
+
+from repro.params import CacheParams, DEFAULT_PARAMS, SystemParams, TlbParams
+
+
+class TestTableIV:
+    """The default configuration must match the paper's Table IV."""
+
+    def test_core(self):
+        core = DEFAULT_PARAMS.core
+        assert core.rob_entries == 352
+        assert core.issue_width == 6
+
+    def test_dtlb(self):
+        assert DEFAULT_PARAMS.dtlb.entries == 64
+        assert DEFAULT_PARAMS.dtlb.ways == 4
+        assert DEFAULT_PARAMS.dtlb.latency == 1
+
+    def test_stlb(self):
+        assert DEFAULT_PARAMS.stlb.entries == 1536
+        assert DEFAULT_PARAMS.stlb.ways == 12
+        assert DEFAULT_PARAMS.stlb.latency == 8
+
+    def test_psc_sizes(self):
+        psc = DEFAULT_PARAMS.psc
+        assert psc.entries_for_level(5) == 1
+        assert psc.entries_for_level(4) == 2
+        assert psc.entries_for_level(3) == 8
+        assert psc.entries_for_level(2) == 32
+
+    def test_l1i(self):
+        l1i = DEFAULT_PARAMS.l1i
+        assert l1i.size_bytes == 32 * 1024
+        assert l1i.ways == 8
+        assert l1i.latency == 4
+
+    def test_l1d(self):
+        l1d = DEFAULT_PARAMS.l1d
+        assert l1d.size_bytes == 48 * 1024
+        assert l1d.ways == 12
+        assert l1d.latency == 5
+        assert l1d.mshr_entries == 16
+
+    def test_l2c(self):
+        l2c = DEFAULT_PARAMS.l2c
+        assert l2c.size_bytes == 512 * 1024
+        assert l2c.ways == 8
+        assert l2c.latency == 10
+
+    def test_llc(self):
+        llc = DEFAULT_PARAMS.llc
+        assert llc.size_bytes == 2 * 1024 * 1024
+        assert llc.ways == 16
+        assert llc.latency == 20
+
+
+class TestCacheParams:
+    def test_sets_computed(self):
+        p = CacheParams("x", 64 * 1024, 8, 4, 8)
+        assert p.sets == 128
+
+    def test_rejects_non_divisible_size(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            CacheParams("x", 48 * 1024 + 64, 12, 5, 16)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError, match="power of two"):
+            CacheParams("x", 3 * 64 * 8, 1, 1, 1)
+
+
+class TestTlbParams:
+    def test_sets(self):
+        assert TlbParams("t", 64, 4, 1).sets == 16
+
+    def test_rejects_bad_ways(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            TlbParams("t", 65, 4, 1)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError, match="power of two"):
+            TlbParams("t", 24, 4, 1)
+
+
+class TestScaledLlc:
+    def test_llc_scales_with_cores(self):
+        scaled = DEFAULT_PARAMS.scaled_llc(8)
+        assert scaled.llc.size_bytes == 8 * DEFAULT_PARAMS.llc.size_bytes
+        assert scaled.llc.mshr_entries == 8 * DEFAULT_PARAMS.llc.mshr_entries
+
+    def test_private_levels_unchanged(self):
+        scaled = DEFAULT_PARAMS.scaled_llc(8)
+        assert scaled.l1d == DEFAULT_PARAMS.l1d
+        assert scaled.l2c == DEFAULT_PARAMS.l2c
+
+    def test_original_untouched(self):
+        before = DEFAULT_PARAMS.llc.size_bytes
+        DEFAULT_PARAMS.scaled_llc(4)
+        assert DEFAULT_PARAMS.llc.size_bytes == before
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_PARAMS.core.rob_entries = 1  # type: ignore[misc]

@@ -1,0 +1,70 @@
+"""HitMissStats behaviour, including the warm-up snapshot semantics."""
+
+from hypothesis import given, strategies as st
+
+from repro.stats import HitMissStats
+
+
+class TestRecording:
+    def test_initial_state(self):
+        s = HitMissStats()
+        assert s.accesses == 0
+        assert s.miss_rate == 0.0
+        assert s.mpki(1000) == 0.0
+
+    def test_hit_and_miss_counts(self):
+        s = HitMissStats()
+        s.record(True)
+        s.record(False)
+        s.record(False)
+        assert s.accesses == 3
+        assert s.hits == 1
+        assert s.misses == 2
+
+    def test_miss_rate(self):
+        s = HitMissStats()
+        for hit in (True, False, False, False):
+            s.record(hit)
+        assert s.miss_rate == 0.75
+
+    def test_mpki(self):
+        s = HitMissStats()
+        for _ in range(5):
+            s.record(False)
+        assert s.mpki(1000) == 5.0
+        assert s.mpki(0) == 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_excludes_warmup(self):
+        s = HitMissStats()
+        for _ in range(10):
+            s.record(False)
+        s.snapshot()
+        for _ in range(3):
+            s.record(False)
+        s.record(True)
+        assert s.measured_accesses == 4
+        assert s.measured_misses == 3
+        assert s.measured_hits == 1
+        assert s.miss_rate == 0.75
+
+    def test_totals_still_cumulative(self):
+        s = HitMissStats()
+        s.record(False)
+        s.snapshot()
+        s.record(False)
+        assert s.misses == 2
+        assert s.measured_misses == 1
+
+    @given(st.lists(st.booleans(), max_size=60), st.lists(st.booleans(), max_size=60))
+    def test_measured_equals_post_snapshot_events(self, warmup, measured):
+        s = HitMissStats()
+        for hit in warmup:
+            s.record(hit)
+        s.snapshot()
+        for hit in measured:
+            s.record(hit)
+        assert s.measured_accesses == len(measured)
+        assert s.measured_hits == sum(measured)
+        assert s.measured_misses == len(measured) - sum(measured)

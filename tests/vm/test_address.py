@@ -1,0 +1,88 @@
+"""Address arithmetic: line/page math and the page-cross predicate."""
+
+from hypothesis import given, strategies as st
+
+from repro.vm import address as addr
+
+addresses = st.integers(min_value=0, max_value=(1 << 48) - 1)
+
+
+class TestLineMath:
+    def test_line_addr(self):
+        assert addr.line_addr(0) == 0
+        assert addr.line_addr(63) == 0
+        assert addr.line_addr(64) == 1
+        assert addr.line_addr(0x1000) == 64
+
+    def test_line_base(self):
+        assert addr.line_base(0x1234) == 0x1200
+        assert addr.line_base(0x1200) == 0x1200
+
+    def test_line_offset_within_page(self):
+        assert addr.line_offset(0) == 0
+        assert addr.line_offset(0xFFF) == 63
+        assert addr.line_offset(0x1000) == 0
+
+    @given(addresses)
+    def test_line_offset_range(self, a):
+        assert 0 <= addr.line_offset(a) < addr.LINES_PER_PAGE_4K
+
+
+class TestPageMath:
+    def test_vpn_4k(self):
+        assert addr.vpn(0x1FFF) == 1
+        assert addr.vpn(0x2000) == 2
+
+    def test_vpn_2m(self):
+        assert addr.vpn(0x1FFFFF, addr.PAGE_2M_SHIFT) == 0
+        assert addr.vpn(0x200000, addr.PAGE_2M_SHIFT) == 1
+
+    def test_same_page(self):
+        assert addr.same_page(0x1000, 0x1FFF)
+        assert not addr.same_page(0x1000, 0x2000)
+
+    def test_crosses_page_is_negation_of_same_page(self):
+        assert addr.crosses_page(0x1FC0, 0x2000)
+        assert not addr.crosses_page(0x1F80, 0x1FC0)
+
+    def test_crosses_2m_boundary(self):
+        assert not addr.crosses_page(0x1000, 0x5000, addr.PAGE_2M_SHIFT)
+        assert addr.crosses_page(0x1FF000, 0x200000, addr.PAGE_2M_SHIFT)
+
+    @given(addresses, addresses)
+    def test_crosses_page_symmetric(self, a, b):
+        assert addr.crosses_page(a, b) == addr.crosses_page(b, a)
+
+    @given(addresses)
+    def test_never_crosses_to_itself(self, a):
+        assert not addr.crosses_page(a, a)
+
+
+class TestPageTableIndexing:
+    def test_pt_index_extracts_nine_bits(self):
+        v = 0x1FF << 12  # all ones in the level-1 index
+        assert addr.pt_index(v, 1) == 0x1FF
+        assert addr.pt_index(v, 2) == 0
+
+    def test_pt_index_levels_disjoint(self):
+        v = 0xABC123456789
+        indices = [addr.pt_index(v, level) for level in (1, 2, 3, 4, 5)]
+        rebuilt = 0
+        for level, index in zip((1, 2, 3, 4, 5), indices):
+            rebuilt |= index << (12 + 9 * (level - 1))
+        assert rebuilt == v & ~0xFFF & ((1 << 57) - 1)
+
+    @given(addresses, st.integers(min_value=1, max_value=5))
+    def test_pt_index_range(self, a, level):
+        assert 0 <= addr.pt_index(a, level) < 512
+
+    def test_pt_tag_shared_within_node_reach(self):
+        # two addresses differing only below level-2 reach share the L2 node
+        a = 0x40000000
+        b = a + (1 << 20)  # within the same 2MB region? level-2 reach is 2MB
+        assert addr.pt_tag(a, 2) == addr.pt_tag(b, 2)
+        assert addr.pt_tag(a, 1) != addr.pt_tag(a + (1 << 12) * 512, 1)
+
+    @given(addresses)
+    def test_canonical_idempotent(self, a):
+        assert addr.canonical(addr.canonical(a)) == addr.canonical(a)

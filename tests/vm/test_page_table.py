@@ -1,0 +1,130 @@
+"""Page table: demand allocation, scrambled frames, 2MB pages, node frames."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vm.address import PAGE_2M_SHIFT, PAGE_4K_SHIFT
+from repro.vm.page_table import LargePagePolicy, PageTable
+
+
+class TestTranslation:
+    def test_deterministic(self):
+        pt = PageTable()
+        first = pt.translate(0x1234)
+        second = pt.translate(0x1234)
+        assert first == second
+
+    def test_same_page_same_frame(self):
+        pt = PageTable()
+        assert pt.translate(0x1000).pfn == pt.translate(0x1FFF).pfn
+
+    def test_offset_preserved(self):
+        pt = PageTable()
+        tr = pt.translate(0x1ABC)
+        assert tr.physical(0x1ABC) & 0xFFF == 0xABC
+
+    def test_distinct_pages_distinct_frames(self):
+        pt = PageTable()
+        frames = {pt.translate(i << PAGE_4K_SHIFT).pfn for i in range(2000)}
+        assert len(frames) == 2000
+
+    def test_virtual_contiguity_not_preserved(self):
+        """Physically contiguous frames for contiguous VPNs would make
+        page-cross prefetching trivially safe; the scrambler must break it."""
+        pt = PageTable()
+        pfns = [pt.translate(i << PAGE_4K_SHIFT).pfn for i in range(64)]
+        contiguous = sum(1 for a, b in zip(pfns, pfns[1:]) if b == a + 1)
+        assert contiguous < 4
+
+    def test_different_asids_different_frames(self):
+        a, b = PageTable(asid=0), PageTable(asid=1)
+        assert a.translate(0x1000).pfn != b.translate(0x1000).pfn
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    @settings(max_examples=50)
+    def test_physical_roundtrip_offset(self, vaddr):
+        pt = PageTable()
+        tr = pt.translate(vaddr)
+        page_mask = tr.page_bytes - 1
+        assert pt.physical(vaddr) & page_mask == vaddr & page_mask
+
+
+class TestLargePages:
+    def test_fraction_zero_never_large(self):
+        policy = LargePagePolicy(0.0)
+        assert not any(policy.is_large(i << 21) for i in range(100))
+
+    def test_fraction_one_always_large(self):
+        policy = LargePagePolicy(1.0)
+        assert all(policy.is_large(i << 21) for i in range(100))
+
+    def test_fraction_half_roughly_half(self):
+        policy = LargePagePolicy(0.5, seed=3)
+        count = sum(policy.is_large(i << 21) for i in range(1000))
+        assert 380 <= count <= 620
+
+    def test_decision_constant_within_region(self):
+        policy = LargePagePolicy(0.5, seed=1)
+        base = 7 << 21
+        decisions = {policy.is_large(base + off) for off in (0, 0x1000, 0x100000, 0x1FFFFF)}
+        assert len(decisions) == 1
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            LargePagePolicy(1.5)
+
+    def test_2m_translation_covers_whole_region(self):
+        pt = PageTable(large_pages=LargePagePolicy(1.0))
+        tr = pt.translate(0x200000)
+        assert tr.page_shift == PAGE_2M_SHIFT
+        assert pt.translate(0x200000 + 0x100000).pfn == tr.pfn
+
+    def test_leaf_level(self):
+        small = PageTable()
+        large = PageTable(large_pages=LargePagePolicy(1.0))
+        assert small.leaf_level(0x1000) == 1
+        assert large.leaf_level(0x1000) == 2
+
+    def test_2m_frames_do_not_alias_4k_frames(self):
+        pt = PageTable(large_pages=LargePagePolicy(0.5, seed=1))
+        spans = set()
+        for i in range(500):
+            tr = pt.translate(i << 21)
+            base = tr.pfn << tr.page_shift
+            spans.add((base, base + tr.page_bytes))
+        for a_start, a_end in spans:
+            overlapping = [s for s in spans if s[0] < a_end and a_start < s[1] and s != (a_start, a_end)]
+            assert not overlapping
+
+
+class TestNodeFrames:
+    def test_same_region_shares_leaf_node(self):
+        pt = PageTable()
+        # two VPNs in the same 2MB region share the level-1 node page
+        assert pt.node_frame(0x1000, 1) == pt.node_frame(0x2000, 1)
+
+    def test_far_regions_use_distinct_nodes(self):
+        pt = PageTable()
+        assert pt.node_frame(0x1000, 1) != pt.node_frame(1 << 30, 1)
+
+    def test_adjacent_vpns_share_pte_line(self):
+        """8 PTEs fit a 64-byte line: walk locality the paper models."""
+        pt = PageTable()
+        a = pt.pte_address(0 << PAGE_4K_SHIFT, 1)
+        b = pt.pte_address(7 << PAGE_4K_SHIFT, 1)
+        assert a >> 6 == b >> 6
+        c = pt.pte_address(8 << PAGE_4K_SHIFT, 1)
+        assert a >> 6 != c >> 6
+
+    def test_node_frames_do_not_alias_data_frames(self):
+        pt = PageTable()
+        data = {pt.translate(i << PAGE_4K_SHIFT).pfn for i in range(100)}
+        nodes = {pt.node_frame(i << PAGE_4K_SHIFT, lvl) for i in range(100) for lvl in (1, 2)}
+        assert not data & nodes
+
+    def test_mapped_counters(self):
+        pt = PageTable(large_pages=LargePagePolicy(1.0))
+        pt.translate(0)
+        pt.translate(1 << 21)
+        assert pt.mapped_2m_pages == 2
+        assert pt.mapped_4k_pages == 0

@@ -1,0 +1,70 @@
+"""Split page-structure caches."""
+
+from repro.params import PscParams
+from repro.vm.psc import PageStructureCache, SplitPsc
+
+
+class TestPageStructureCache:
+    def test_miss_then_hit(self):
+        psc = PageStructureCache(2, 4)
+        assert not psc.lookup(0x40000000)
+        psc.insert(0x40000000)
+        assert psc.lookup(0x40000000)
+
+    def test_entry_reach_is_the_cached_node_reach(self):
+        # a level-2 PSC entry caches one L1-node pointer: 2MB reach
+        psc = PageStructureCache(2, 4)
+        psc.insert(0x40000000)
+        assert psc.lookup(0x40000000 + (1 << 20))
+        assert not psc.lookup(0x40000000 + (1 << 21))
+
+    def test_capacity_lru(self):
+        psc = PageStructureCache(2, 2)
+        regions = [i << 31 for i in range(3)]
+        psc.insert(regions[0])
+        psc.insert(regions[1])
+        psc.lookup(regions[0])
+        psc.insert(regions[2])  # evicts regions[1]
+        assert psc.lookup(regions[0])
+        assert not psc.lookup(regions[1])
+
+    def test_stats(self):
+        psc = PageStructureCache(3, 2)
+        psc.lookup(0)
+        psc.insert(0)
+        psc.lookup(0)
+        assert psc.stats.misses == 1
+        assert psc.stats.hits == 1
+
+
+class TestSplitPsc:
+    def test_sizes_follow_params(self):
+        psc = SplitPsc(PscParams())
+        assert psc.levels[5].entries == 1
+        assert psc.levels[4].entries == 2
+        assert psc.levels[3].entries == 8
+        assert psc.levels[2].entries == 32
+
+    def test_full_miss_returns_none(self):
+        psc = SplitPsc(PscParams())
+        assert psc.best_hit_level(0x12345678) is None
+
+    def test_best_hit_is_lowest_level(self):
+        psc = SplitPsc(PscParams())
+        vaddr = 0x40000000
+        psc.fill(vaddr, 4)
+        psc.fill(vaddr, 2)
+        assert psc.best_hit_level(vaddr) == 2
+
+    def test_fill_ignores_leaf_level(self):
+        psc = SplitPsc(PscParams())
+        psc.fill(0x1000, 1)  # level 1 is the leaf; no PSC for it
+        assert psc.best_hit_level(0x1000) is None
+
+    def test_higher_levels_have_larger_reach(self):
+        psc = SplitPsc(PscParams())
+        a = 0x40000000
+        far = a + (1 << 32)  # same level-5 region, different level-2 region
+        psc.fill(a, 5)
+        psc.fill(a, 2)
+        assert psc.best_hit_level(far) == 5

@@ -1,0 +1,123 @@
+"""TLB: lookup/insert, LRU, mixed page sizes, prefetch attribution."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.params import TlbParams
+from repro.vm.address import PAGE_2M_SHIFT, PAGE_4K_SHIFT
+from repro.vm.page_table import Translation
+from repro.vm.tlb import Tlb
+
+
+def tr4k(vpn: int, pfn: int = 0) -> Translation:
+    return Translation(vpn, pfn or vpn + 100, PAGE_4K_SHIFT)
+
+
+def tr2m(vpn: int, pfn: int = 0) -> Translation:
+    return Translation(vpn, pfn or vpn + 7, PAGE_2M_SHIFT)
+
+
+def small_tlb(entries=8, ways=2) -> Tlb:
+    return Tlb(TlbParams("t", entries, ways, 1))
+
+
+class TestLookupInsert:
+    def test_miss_on_empty(self):
+        t = small_tlb()
+        assert t.lookup(0x1000) is None
+        assert t.stats.misses == 1
+
+    def test_hit_after_insert(self):
+        t = small_tlb()
+        t.insert(tr4k(1))
+        found = t.lookup(0x1ABC)
+        assert found is not None
+        assert found.pfn == 101
+        assert t.stats.hits == 1
+
+    def test_hit_requires_same_page(self):
+        t = small_tlb()
+        t.insert(tr4k(1))
+        assert t.lookup(0x2000) is None
+
+    def test_2m_entry_covers_2m_region(self):
+        t = small_tlb()
+        t.insert(tr2m(1))
+        assert t.lookup((1 << 21) + 0x12345) is not None
+        assert t.lookup(0) is None
+
+    def test_mixed_sizes_coexist(self):
+        t = small_tlb()
+        t.insert(tr4k(5))
+        t.insert(tr2m(5))
+        assert t.lookup(5 << PAGE_4K_SHIFT).page_shift == PAGE_4K_SHIFT
+        assert t.lookup((5 << PAGE_2M_SHIFT) + (1 << 20)).page_shift == PAGE_2M_SHIFT
+
+    def test_speculative_lookup_does_not_touch_stats(self):
+        t = small_tlb()
+        t.insert(tr4k(1))
+        t.lookup(0x1000, speculative=True)
+        t.lookup(0x9000, speculative=True)
+        assert t.stats.accesses == 0
+
+    def test_reinsert_refreshes_not_duplicates(self):
+        t = small_tlb()
+        t.insert(tr4k(1))
+        t.insert(tr4k(1))
+        assert t.occupancy() == 1
+
+
+class TestReplacement:
+    def test_lru_victim_within_set(self):
+        t = small_tlb(entries=8, ways=2)  # 4 sets
+        sets = 4
+        a, b, c = 0, sets, 2 * sets  # same set (vpn % sets == 0)
+        t.insert(tr4k(a))
+        t.insert(tr4k(b))
+        t.lookup(a << PAGE_4K_SHIFT)  # touch a so b becomes LRU
+        t.insert(tr4k(c))
+        assert t.lookup(a << PAGE_4K_SHIFT) is not None
+        assert t.lookup(b << PAGE_4K_SHIFT) is None
+
+    def test_occupancy_bounded_by_capacity(self):
+        t = small_tlb(entries=8, ways=2)
+        for vpn in range(100):
+            t.insert(tr4k(vpn))
+        assert t.occupancy() <= 8
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), max_size=200))
+    @settings(max_examples=30)
+    def test_occupancy_invariant_under_any_sequence(self, vpns):
+        t = small_tlb(entries=8, ways=2)
+        for vpn in vpns:
+            t.insert(tr4k(vpn))
+            assert t.occupancy() <= 8
+        for vpn in vpns[-8:]:
+            t.lookup(vpn << PAGE_4K_SHIFT)  # never crashes
+
+
+class TestPrefetchAttribution:
+    def test_prefetch_hit_counted_once(self):
+        t = small_tlb()
+        t.insert(tr4k(1), from_prefetch=True)
+        t.lookup(0x1000)
+        t.lookup(0x1000)
+        assert t.prefetch_hits == 1
+
+    def test_unused_prefetch_eviction_counted(self):
+        t = small_tlb(entries=2, ways=1)  # 2 sets, direct mapped
+        t.insert(tr4k(0), from_prefetch=True)
+        t.insert(tr4k(2))  # same set 0, evicts the unused prefetched entry
+        assert t.prefetch_evicted_unused == 1
+
+    def test_used_prefetch_eviction_not_counted(self):
+        t = small_tlb(entries=2, ways=1)
+        t.insert(tr4k(0), from_prefetch=True)
+        t.lookup(0)
+        t.insert(tr4k(2))
+        assert t.prefetch_evicted_unused == 0
+
+    def test_flush(self):
+        t = small_tlb()
+        t.insert(tr4k(1))
+        t.flush()
+        assert t.occupancy() == 0

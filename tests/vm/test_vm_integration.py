@@ -1,0 +1,93 @@
+"""VM subsystem integration: TLBs + walker + PSCs working together."""
+
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.params import DEFAULT_PARAMS
+from repro.vm.page_table import LargePagePolicy, PageTable
+from repro.vm.psc import SplitPsc
+from repro.vm.tlb import Tlb
+from repro.vm.walker import PageWalker
+
+
+def make_vm(large_fraction=0.0):
+    hierarchy = MemoryHierarchy(DEFAULT_PARAMS)
+    pt = PageTable(large_pages=LargePagePolicy(large_fraction, seed=3))
+    walker = PageWalker(pt, SplitPsc(DEFAULT_PARAMS.psc), hierarchy.ptw_read)
+    dtlb = Tlb(DEFAULT_PARAMS.dtlb)
+    stlb = Tlb(DEFAULT_PARAMS.stlb)
+    return hierarchy, pt, walker, dtlb, stlb
+
+
+def translate(dtlb, stlb, walker, vaddr, t):
+    """The engine's demand-translation path, reproduced for inspection."""
+    tr = dtlb.lookup(vaddr)
+    if tr is not None:
+        return tr, "dtlb"
+    tr = stlb.lookup(vaddr)
+    if tr is not None:
+        dtlb.insert(tr)
+        return tr, "stlb"
+    walk = walker.walk(vaddr, t)
+    stlb.insert(walk.translation)
+    dtlb.insert(walk.translation)
+    return walk.translation, "walk"
+
+
+class TestTranslationPath:
+    def test_first_touch_walks_then_hits(self):
+        _, _, walker, dtlb, stlb = make_vm()
+        _, how1 = translate(dtlb, stlb, walker, 0x5000, 0.0)
+        _, how2 = translate(dtlb, stlb, walker, 0x5abc, 1.0)
+        assert (how1, how2) == ("walk", "dtlb")
+
+    def test_dtlb_capacity_falls_back_to_stlb(self):
+        _, _, walker, dtlb, stlb = make_vm()
+        # touch more pages than the 64-entry dTLB holds, then revisit page 0
+        for i in range(200):
+            translate(dtlb, stlb, walker, i << 12, float(i))
+        _, how = translate(dtlb, stlb, walker, 0x0, 1000.0)
+        assert how == "stlb"
+
+    def test_stlb_capacity_falls_back_to_walk(self):
+        _, _, walker, dtlb, stlb = make_vm()
+        for i in range(2000):  # exceeds the 1536-entry sTLB
+            translate(dtlb, stlb, walker, i << 12, float(i))
+        walks_before = walker.demand_walks
+        translate(dtlb, stlb, walker, 0x0, 5000.0)
+        assert walker.demand_walks == walks_before + 1
+
+    def test_warm_walks_read_fewer_ptes(self):
+        hierarchy, _, walker, dtlb, stlb = make_vm()
+        translate(dtlb, stlb, walker, 0x0, 0.0)
+        reads_before = hierarchy.dram.reads
+        # a neighbouring page: PSC L2 covers the node, PTE line likely cached
+        walk = walker.walk(0x1000, 10_000.0)
+        assert walk.memory_reads == 1
+        assert hierarchy.dram.reads == reads_before  # PTE line already cached
+
+    def test_same_translations_from_tlb_and_walk(self):
+        _, pt, walker, dtlb, stlb = make_vm()
+        via_walk, _ = translate(dtlb, stlb, walker, 0x9000, 0.0)
+        via_tlb, _ = translate(dtlb, stlb, walker, 0x9000, 1.0)
+        assert via_walk == via_tlb == pt.translate(0x9000)
+
+
+class TestMixedPageSizes:
+    def test_one_2m_walk_covers_512_small_pages(self):
+        _, _, walker, dtlb, stlb = make_vm(large_fraction=1.0)
+        for i in range(512):
+            translate(dtlb, stlb, walker, i << 12, float(i))
+        assert walker.demand_walks == 1
+
+    def test_mixed_system_walk_counts_between_extremes(self):
+        def walks(fraction):
+            _, _, walker, dtlb, stlb = make_vm(large_fraction=fraction)
+            # four 4KB pages in each of 128 distinct 2MB regions
+            for region in range(128):
+                for k in range(4):
+                    translate(dtlb, stlb, walker, (region << 21) | (k << 12), float(region))
+            return walker.demand_walks
+
+        all_small, mixed, all_large = walks(0.0), walks(0.5), walks(1.0)
+        assert all_small == 512
+        assert all_large == 128
+        assert all_large < mixed < all_small

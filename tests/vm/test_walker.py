@@ -1,0 +1,104 @@
+"""Page walker: PSC short-circuiting, walk costs, speculative accounting."""
+
+from repro.params import PscParams
+from repro.vm.page_table import LargePagePolicy, PageTable
+from repro.vm.psc import SplitPsc
+from repro.vm.walker import PageWalker
+
+
+class RecordingReader:
+    """PTE reader stub with a fixed per-read latency."""
+
+    def __init__(self, latency: float = 10.0):
+        self.latency = latency
+        self.reads: list[tuple[int, float, bool]] = []
+
+    def __call__(self, paddr: int, t: float, speculative: bool) -> float:
+        self.reads.append((paddr, t, speculative))
+        return self.latency
+
+
+def make_walker(large=False):
+    pt = PageTable(large_pages=LargePagePolicy(1.0 if large else 0.0))
+    reader = RecordingReader()
+    walker = PageWalker(pt, SplitPsc(PscParams()), reader)
+    return walker, reader, pt
+
+
+class TestWalkCost:
+    def test_cold_walk_reads_five_levels(self):
+        walker, reader, _ = make_walker()
+        result = walker.walk(0x12345678, 0.0)
+        assert result.memory_reads == 5
+        assert len(reader.reads) == 5
+
+    def test_warm_walk_reads_only_leaf(self):
+        walker, reader, _ = make_walker()
+        walker.walk(0x12345678, 0.0)
+        reader.reads.clear()
+        result = walker.walk(0x12345678 + 0x1000, 100.0)
+        # PSC L2 covers the region -> only the L1 PTE is read
+        assert result.memory_reads == 1
+
+    def test_walk_latency_includes_psc_and_reads(self):
+        walker, reader, _ = make_walker()
+        result = walker.walk(0x1000, 0.0)
+        assert result.latency == 1 + 5 * reader.latency
+
+    def test_reads_are_sequential_in_time(self):
+        walker, reader, _ = make_walker()
+        walker.walk(0x1000, 0.0)
+        times = [t for _, t, _ in reader.reads]
+        assert times == sorted(times)
+        assert times[1] - times[0] == reader.latency
+
+    def test_distant_address_reuses_upper_levels(self):
+        walker, reader, _ = make_walker()
+        walker.walk(0x1000, 0.0)
+        reader.reads.clear()
+        # same level-3 region (512 * 2MB reach), different level-2 region
+        result = walker.walk(0x1000 + (1 << 21), 100.0)
+        assert 1 < result.memory_reads <= 3
+
+    def test_translation_returned(self):
+        walker, _, pt = make_walker()
+        result = walker.walk(0xABC123, 0.0)
+        assert result.translation == pt.translate(0xABC123)
+
+
+class TestLargePageWalks:
+    def test_2m_walk_stops_at_level_2(self):
+        walker, reader, _ = make_walker(large=True)
+        result = walker.walk(0x40000000, 0.0)
+        assert result.memory_reads == 4  # levels 5..2, no level-1 PTE
+
+    def test_warm_2m_walk(self):
+        walker, reader, _ = make_walker(large=True)
+        walker.walk(0x40000000, 0.0)
+        result = walker.walk(0x40000000 + 0x100000, 50.0)
+        # PSC L3 knows the L2 node -> single read of the leaf PMD entry
+        assert result.memory_reads == 1
+
+
+class TestSpeculativeAccounting:
+    def test_speculative_flag_propagates_to_reader(self):
+        walker, reader, _ = make_walker()
+        walker.walk(0x1000, 0.0, speculative=True)
+        assert all(spec for _, _, spec in reader.reads)
+
+    def test_counters_split_by_kind(self):
+        walker, _, _ = make_walker()
+        walker.walk(0x1000, 0.0)
+        walker.walk(0x2000000, 1.0, speculative=True)
+        walker.walk(0x4000000, 2.0, speculative=True)
+        assert walker.demand_walks == 1
+        assert walker.speculative_walks == 2
+
+    def test_snapshot_separates_measured_region(self):
+        walker, _, _ = make_walker()
+        walker.walk(0x1000, 0.0)
+        walker.snapshot()
+        walker.walk(0x2000000, 1.0)
+        walker.walk(0x12000000, 1.0, speculative=True)
+        assert walker.measured_demand_walks == 1
+        assert walker.measured_speculative_walks == 1

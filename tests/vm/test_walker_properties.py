@@ -1,0 +1,59 @@
+"""Property-based walker invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.params import PscParams
+from repro.vm.page_table import LargePagePolicy, PageTable
+from repro.vm.psc import SplitPsc
+from repro.vm.walker import PageWalker
+
+addresses = st.integers(min_value=0, max_value=(1 << 44) - 1)
+
+
+def make_walker(large_fraction=0.0):
+    pt = PageTable(large_pages=LargePagePolicy(large_fraction, seed=5))
+    walker = PageWalker(pt, SplitPsc(PscParams()), lambda paddr, t, spec: 10.0)
+    return walker, pt
+
+
+class TestWalkProperties:
+    @given(addresses)
+    @settings(max_examples=60, deadline=None)
+    def test_walk_matches_page_table(self, vaddr):
+        walker, pt = make_walker()
+        result = walker.walk(vaddr, 0.0)
+        assert result.translation == pt.translate(vaddr)
+
+    @given(addresses)
+    @settings(max_examples=60, deadline=None)
+    def test_read_count_bounds(self, vaddr):
+        walker, _ = make_walker()
+        result = walker.walk(vaddr, 0.0)
+        assert 1 <= result.memory_reads <= 5
+
+    @given(addresses)
+    @settings(max_examples=40, deadline=None)
+    def test_repeat_walk_never_reads_more(self, vaddr):
+        walker, _ = make_walker()
+        first = walker.walk(vaddr, 0.0)
+        second = walker.walk(vaddr, 100.0)
+        assert second.memory_reads <= first.memory_reads
+        assert second.memory_reads == 1  # PSC now covers all non-leaf levels
+
+    @given(st.lists(addresses, min_size=1, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_walk_sequence_counters_consistent(self, vaddrs):
+        walker, _ = make_walker(large_fraction=0.3)
+        for i, vaddr in enumerate(vaddrs):
+            speculative = bool(i % 2)
+            walker.walk(vaddr, float(i), speculative=speculative)
+        assert walker.demand_walks + walker.speculative_walks == len(vaddrs)
+
+    @given(addresses)
+    @settings(max_examples=40, deadline=None)
+    def test_large_page_walks_never_deeper_than_small(self, vaddr):
+        small_walker, _ = make_walker(0.0)
+        large_walker, _ = make_walker(1.0)
+        small = small_walker.walk(vaddr, 0.0)
+        large = large_walker.walk(vaddr, 0.0)
+        assert large.memory_reads <= small.memory_reads

@@ -1,0 +1,177 @@
+"""Pattern primitives: footprints, shapes, flavour behaviour."""
+
+import random
+
+import pytest
+
+from repro.vm.address import LINES_PER_PAGE_4K, PAGE_4K_SHIFT
+from repro.workloads.patterns import (
+    Gather,
+    GraphCsr,
+    PageTiled,
+    PointerChase,
+    REGION_BYTES,
+    Stream,
+    Strided,
+)
+
+
+def collect(pattern, n, seed=1):
+    rng = random.Random(seed)
+    return [pattern.next_access(rng) for _ in range(n)]
+
+
+class TestRegions:
+    def test_regions_disjoint(self):
+        a = Stream(0, footprint_pages=1 << 18)
+        b = Stream(1, footprint_pages=1 << 18)
+        assert abs(a.base - b.base) >= REGION_BYTES
+
+    def test_addresses_stay_in_region(self):
+        p = Gather(3, footprint_pages=128)
+        for vaddr, _, _ in collect(p, 500):
+            assert 0 <= vaddr - p.base < REGION_BYTES
+
+
+class TestStream:
+    def test_monotone_until_wrap(self):
+        p = Stream(0, stride_lines=1, footprint_pages=4)
+        addrs = [v for v, _, _ in collect(p, 100)]
+        diffs = [b - a for a, b in zip(addrs, addrs[1:])]
+        assert all(d == 64 for d in diffs if d > 0)
+
+    def test_wraps_at_footprint(self):
+        p = Stream(0, stride_lines=1, footprint_pages=1)
+        addrs = [v for v, _, _ in collect(p, 200)]
+        pages = {v >> PAGE_4K_SHIFT for v in addrs}
+        assert len(pages) == 1
+
+    def test_no_dependencies(self):
+        p = Stream(0)
+        assert not any(dep for _, dep, _ in collect(p, 50))
+
+
+class TestStrided:
+    def test_stride_respected(self):
+        p = Strided(0, stride_lines=40, footprint_pages=1024)
+        addrs = [v for v, _, _ in collect(p, 50)]
+        diffs = {(b - a) >> 6 for a, b in zip(addrs, addrs[1:])}
+        assert 40 in diffs
+
+    def test_crosses_pages_frequently(self):
+        p = Strided(0, stride_lines=40, footprint_pages=1024)
+        addrs = [v for v, _, _ in collect(p, 200)]
+        crossings = sum(
+            1 for a, b in zip(addrs, addrs[1:]) if a >> PAGE_4K_SHIFT != b >> PAGE_4K_SHIFT
+        )
+        assert crossings > 80
+
+
+class TestPageTiled:
+    def test_bursts_sequential_within_page(self):
+        p = PageTiled(0, footprint_pages=1024, burst_lines=16)
+        rng = random.Random(1)
+        prev = None
+        sequential = 0
+        in_page = 0
+        for _ in range(400):
+            vaddr, _, _ = p.next_access(rng)
+            if prev is not None and prev >> PAGE_4K_SHIFT == vaddr >> PAGE_4K_SHIFT:
+                in_page += 1
+                if vaddr - prev == 64:
+                    sequential += 1
+            prev = vaddr
+        # a jump can land in the page it left, so allow a small remainder
+        assert in_page > 300
+        assert sequential >= 0.95 * in_page
+
+    def test_bursts_end_at_page_edge(self):
+        p = PageTiled(0, footprint_pages=64, burst_lines=16, start_offset_jitter=0)
+        rng = random.Random(1)
+        offsets = [(v >> 6) & 63 for v, _, _ in (p.next_access(rng) for _ in range(160))]
+        assert max(offsets) == LINES_PER_PAGE_4K - 1
+
+    def test_page_jumps_unpredictable(self):
+        p = PageTiled(0, footprint_pages=1024, burst_lines=8)
+        rng = random.Random(1)
+        pages = []
+        for _ in range(400):
+            vaddr, _, _ = p.next_access(rng)
+            page = vaddr >> PAGE_4K_SHIFT
+            if not pages or pages[-1] != page:
+                pages.append(page)
+        sequential = sum(1 for a, b in zip(pages, pages[1:]) if b == a + 1)
+        assert sequential < len(pages) // 4
+
+
+class TestPointerChase:
+    def test_all_dependent(self):
+        p = PointerChase(0)
+        assert all(dep for _, dep, _ in collect(p, 50))
+
+    def test_deterministic_chain(self):
+        a = collect(PointerChase(0), 50)
+        b = collect(PointerChase(0), 50)
+        assert a == b
+
+
+class TestGraphCsr:
+    def test_unknown_flavour_raises(self):
+        with pytest.raises(KeyError):
+            GraphCsr(0, flavour="mesh")
+
+    def test_two_streams_emitted(self):
+        p = GraphCsr(0, flavour="road")
+        streams = {s for _, _, s in collect(p, 300)}
+        assert streams == {0, 1}
+
+    def test_road_neighbours_local(self):
+        p = GraphCsr(0, flavour="road", nodes_pages=1024)
+        rng = random.Random(1)
+        max_span = 0
+        node_line = None
+        for _ in range(500):
+            vaddr, _, stream = p.next_access(rng)
+            line = (vaddr - p.base) >> 6
+            if stream == 0:
+                node_line = line - p._edge_base
+            elif node_line is not None and 0 <= line < p.prop_lines:
+                span = abs(line - node_line)
+                max_span = max(max_span, min(span, p.prop_lines - span))
+        assert max_span <= p.locality
+
+    def test_web_neighbours_scattered(self):
+        p = GraphCsr(0, flavour="web", nodes_pages=1024)
+        rng = random.Random(1)
+        lines = [
+            (v - p.base) >> 6
+            for v, _, s in (p.next_access(rng) for _ in range(2000))
+            if s == 1
+        ]
+        non_hub = [l for l in lines if l >= 256]
+        assert len(set(l >> 6 for l in non_hub)) > 100  # many distinct pages
+
+    def test_road_offsets_stream_sequential(self):
+        p = GraphCsr(0, flavour="road")
+        rng = random.Random(1)
+        offsets = [
+            (v - p.base) >> 6
+            for v, _, s in (p.next_access(rng) for _ in range(2000))
+            if s == 0
+        ]
+        diffs = [b - a for a, b in zip(offsets, offsets[1:])]
+        assert all(d == 1 for d in diffs if d > 0)
+
+    def test_web_offsets_stream_jumps_pages(self):
+        p = GraphCsr(0, flavour="web", nodes_pages=1024)
+        rng = random.Random(1)
+        offset_pages = []
+        for _ in range(5000):
+            vaddr, _, s = p.next_access(rng)
+            if s == 0:
+                offset_pages.append((vaddr - p.base) >> PAGE_4K_SHIFT)
+        transitions = [
+            (a, b) for a, b in zip(offset_pages, offset_pages[1:]) if a != b
+        ]
+        sequential = sum(1 for a, b in transitions if b == a + 1)
+        assert transitions and sequential < len(transitions)

@@ -1,0 +1,135 @@
+"""Workload registry: paper-matching counts, splits, sampling, mixes."""
+
+import pytest
+
+from repro.workloads.registry import (
+    by_name,
+    make_mixes,
+    motivation_workloads,
+    non_intensive_workloads,
+    seen_workloads,
+    stratified_sample,
+    unseen_workloads,
+)
+
+
+class TestCounts:
+    def test_218_seen(self):
+        """Section IV-A: 218 workloads used during development."""
+        assert len(seen_workloads()) == 218
+
+    def test_178_unseen(self):
+        """Section IV-A: 178 unseen workloads."""
+        assert len(unseen_workloads()) == 178
+
+    def test_396_total(self):
+        assert len(seen_workloads()) + len(unseen_workloads()) == 396
+
+    def test_all_names_unique(self):
+        names = [w.name for w in seen_workloads() + unseen_workloads() + non_intensive_workloads()]
+        assert len(names) == len(set(names))
+
+    def test_seen_unseen_disjoint(self):
+        seen = {w.name for w in seen_workloads()}
+        unseen = {w.name for w in unseen_workloads()}
+        assert not seen & unseen
+
+    def test_suites_represented(self):
+        suites = {w.suite for w in seen_workloads()}
+        assert suites == {"SPEC", "GAP", "LIGRA", "PARSEC", "GKB5", "QMM_INT", "QMM_FP"}
+
+
+class TestFigure2Names:
+    def test_named_workloads_exist(self):
+        for name in ("astar", "cc.road", "MIS.road", "vips", "qmm_int_365",
+                     "gkb5_101", "sphinx3", "fotonik3d_s", "bc.web", "pr.web",
+                     "qmm_int_859", "qmm_fp_44", "gkb5_310", "tc.road", "qmm_int_13"):
+            assert by_name(name) is not None
+
+    def test_motivation_set_is_seen(self):
+        seen = {w.name for w in seen_workloads()}
+        for w in motivation_workloads():
+            assert w.name in seen
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            by_name("doom_eternal")
+
+
+class TestSampling:
+    def test_sample_size(self):
+        assert len(stratified_sample(seen_workloads(), 20, seed=1)) == 20
+
+    def test_sample_deterministic(self):
+        a = [w.name for w in stratified_sample(seen_workloads(), 20, seed=1)]
+        b = [w.name for w in stratified_sample(seen_workloads(), 20, seed=1)]
+        assert a == b
+
+    def test_sample_covers_suites(self):
+        sample = stratified_sample(seen_workloads(), 21, seed=2)
+        assert len({w.suite for w in sample}) >= 5
+
+    def test_oversized_sample_returns_all(self):
+        assert len(stratified_sample(non_intensive_workloads(), 999)) == len(non_intensive_workloads())
+
+
+class TestMixes:
+    def test_mix_count_and_size(self):
+        mixes = make_mixes(10, 8, seed=1)
+        assert len(mixes) == 10
+        assert all(len(m) == 8 for m in mixes)
+
+    def test_mixes_deterministic(self):
+        a = [[w.name for w in m] for m in make_mixes(5, 8, seed=7)]
+        b = [[w.name for w in m] for m in make_mixes(5, 8, seed=7)]
+        assert a == b
+
+    def test_mixes_drawn_from_seen(self):
+        seen = {w.name for w in seen_workloads()}
+        for mix in make_mixes(5, 8):
+            for w in mix:
+                assert w.name in seen
+
+    def test_no_duplicate_within_mix(self):
+        for mix in make_mixes(10, 8):
+            names = [w.name for w in mix]
+            assert len(names) == len(set(names))
+
+
+class TestNonIntensive:
+    def test_low_intensity_traits(self):
+        for w in non_intensive_workloads():
+            assert w.mean_gap >= 8.0
+
+
+class TestEveryWorkloadGenerates:
+    """All 436 registered workloads must produce valid records."""
+
+    @staticmethod
+    def _validate(workload, n=200):
+        from repro.workloads.trace import BRANCH, DEPENDS, LOAD, MISPREDICT, STORE, TAKEN
+
+        valid_mask = LOAD | STORE | MISPREDICT | DEPENDS | BRANCH | TAKEN
+        count = 0
+        for pc, vaddr, flags, gap in workload.generate():
+            assert pc > 0 and vaddr > 0
+            assert flags & (LOAD | STORE), workload.name
+            assert not (flags & LOAD and flags & STORE), workload.name
+            assert flags & ~valid_mask == 0, workload.name
+            assert 0 <= gap < 1000, workload.name
+            count += 1
+            if count >= n:
+                break
+        assert count == n, f"{workload.name} trace ended early"
+
+    def test_all_seen_generate(self):
+        for workload in seen_workloads():
+            self._validate(workload)
+
+    def test_all_unseen_generate(self):
+        for workload in unseen_workloads():
+            self._validate(workload)
+
+    def test_all_non_intensive_generate(self):
+        for workload in non_intensive_workloads():
+            self._validate(workload)

@@ -1,0 +1,115 @@
+"""Per-suite workload builders."""
+
+import pytest
+
+from repro.workloads.suites import (
+    GAP_ALGORITHMS,
+    GRAPH_FLAVOURS,
+    PARSEC_BENCHMARKS,
+    SPEC_BENCHMARKS,
+    gkb5,
+    graph,
+    non_intensive,
+    parsec,
+    qmm,
+    spec,
+)
+
+
+def first_records(workload, n=50):
+    out = []
+    for record in workload.generate():
+        out.append(record)
+        if len(out) >= n:
+            break
+    return out
+
+
+class TestSpec:
+    def test_all_benchmarks_construct(self):
+        for name in SPEC_BENCHMARKS:
+            w = spec(name)
+            assert w.suite == "SPEC"
+            assert first_records(w)
+
+    def test_simpoints_differ(self):
+        assert first_records(spec("mcf", 0)) != first_records(spec("mcf", 1))
+
+    def test_simpoint_naming(self):
+        assert spec("mcf", 0).name == "mcf"
+        assert spec("mcf", 2).name == "mcf.2"
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            spec("doom")
+
+    def test_builders_deterministic_across_calls(self):
+        assert first_records(spec("astar", 1)) == first_records(spec("astar", 1))
+
+    def test_branch_profiles_assigned(self):
+        assert spec("gcc").branch_profile[0] == "mixed"
+        assert spec("lbm").branch_profile[0] == "loop"
+
+
+class TestGraph:
+    def test_all_combinations_construct(self):
+        for algorithm in GAP_ALGORITHMS:
+            for flavour in GRAPH_FLAVOURS:
+                w = graph(algorithm, flavour, "GAP")
+                assert w.name == f"{algorithm}.{flavour}"
+
+    def test_seed_changes_trace(self):
+        a = first_records(graph("bfs", "road", "GAP", seed=0))
+        b = first_records(graph("bfs", "road", "GAP", seed=1))
+        assert a != b
+
+    def test_suite_label(self):
+        assert graph("MIS", "road", "LIGRA").suite == "LIGRA"
+
+
+class TestParsec:
+    def test_all_construct(self):
+        for name in PARSEC_BENCHMARKS:
+            assert first_records(parsec(name))
+
+
+class TestGkb5:
+    def test_indices_give_distinct_workloads(self):
+        assert first_records(gkb5(7)) != first_records(gkb5(19))
+
+    def test_forced_profiles(self):
+        from repro.workloads.patterns import PageTiled, Stream
+
+        friendly = gkb5(101)
+        hostile = gkb5(310)
+        assert isinstance(friendly.phases[0][0](), Stream)
+        assert isinstance(hostile.phases[0][0](), PageTiled)
+
+    def test_deterministic(self):
+        assert first_records(gkb5(42)) == first_records(gkb5(42))
+
+
+class TestQmm:
+    def test_kinds(self):
+        assert qmm("int", 100).suite == "QMM_INT"
+        assert qmm("fp", 200).suite == "QMM_FP"
+
+    def test_bad_kind_raises(self):
+        with pytest.raises(ValueError):
+            qmm("vector", 1)
+
+    def test_forced_figure2_profiles(self):
+        from repro.workloads.patterns import PageTiled, Stream
+
+        assert isinstance(qmm("int", 13).phases[0][0](), Stream)
+        assert isinstance(qmm("int", 859).phases[0][0](), PageTiled)
+        assert isinstance(qmm("fp", 44).phases[0][0](), PageTiled)
+
+
+class TestNonIntensive:
+    def test_construct_and_sparse(self):
+        w = non_intensive(3)
+        assert w.mean_gap >= 10.0
+        records = first_records(w, 100)
+        footprint_lines = {r[1] >> 6 for r in records}
+        assert len(footprint_lines) <= 8 * 64  # stays tiny

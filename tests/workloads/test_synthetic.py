@@ -1,0 +1,110 @@
+"""SyntheticWorkload assembly: determinism, flags, phases, intensity."""
+
+import pytest
+
+from repro.workloads.patterns import Gather, Stream
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.trace import DEPENDS, LOAD, MISPREDICT, STORE, instructions_in
+
+
+def take(workload, n):
+    out = []
+    for record in workload.generate():
+        out.append(record)
+        if len(out) >= n:
+            break
+    return out
+
+
+def two_phase(seed=1, **kwargs):
+    return SyntheticWorkload(
+        "w", "TEST", seed,
+        [
+            (lambda: Stream(0, stride_lines=1, footprint_pages=8), 500),
+            (lambda: Gather(1, footprint_pages=8), 500),
+        ],
+        **kwargs,
+    )
+
+
+class TestDeterminism:
+    def test_replay_identical(self):
+        w = two_phase()
+        assert take(w, 500) == take(w, 500)
+
+    def test_different_seeds_differ(self):
+        a = take(two_phase(seed=1), 200)
+        b = take(two_phase(seed=2), 200)
+        assert a != b
+
+    def test_concurrent_iterators_independent(self):
+        w = two_phase()
+        it1, it2 = w.generate(), w.generate()
+        first = [next(it1) for _ in range(100)]
+        second = [next(it2) for _ in range(100)]
+        assert first == second
+
+
+class TestRecords:
+    def test_every_record_is_memory_op(self):
+        for pc, vaddr, flags, gap in take(two_phase(), 300):
+            assert flags & (LOAD | STORE)
+            assert not (flags & LOAD and flags & STORE)
+            assert gap >= 0
+            assert vaddr > 0
+            assert pc > 0
+
+    def test_store_fraction_respected(self):
+        records = take(two_phase(store_fraction=0.5), 2000)
+        stores = sum(1 for r in records if r[2] & STORE)
+        assert 0.4 < stores / len(records) < 0.6
+
+    def test_zero_store_fraction(self):
+        records = take(two_phase(store_fraction=0.0), 500)
+        assert not any(r[2] & STORE for r in records)
+
+    def test_mispredict_rate(self):
+        records = take(two_phase(mispredict_rate=0.2), 3000)
+        rate = sum(1 for r in records if r[2] & MISPREDICT) / len(records)
+        assert 0.15 < rate < 0.25
+
+    def test_mean_gap_controls_intensity(self):
+        dense = take(two_phase(mean_gap=1.0), 2000)
+        sparse = take(two_phase(mean_gap=10.0), 2000)
+        avg = lambda rs: sum(r[3] for r in rs) / len(rs)  # noqa: E731
+        assert avg(sparse) > 3 * avg(dense)
+
+    def test_instructions_in(self):
+        assert instructions_in((0, 0, LOAD, 5)) == 6
+
+
+class TestPhases:
+    def test_phases_cycle_through_regions(self):
+        w = two_phase()
+        records = take(w, 1500)
+        regions = {r[1] >> 30 for r in records}
+        assert len(regions) == 2
+
+    def test_dependent_flag_from_pattern(self):
+        from repro.workloads.patterns import PointerChase
+
+        w = SyntheticWorkload(
+            "chase", "TEST", 3, [(lambda: PointerChase(0), 1 << 30)],
+        )
+        assert all(r[2] & DEPENDS for r in take(w, 100))
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkload("bad", "TEST", 1, [])
+
+
+class TestPcs:
+    def test_load_pcs_stable_and_few(self):
+        records = take(two_phase(), 2000)
+        pcs = {r[0] for r in records}
+        assert len(pcs) <= 8  # pcs_per_pattern per phase
+
+    def test_code_lines_spread_pcs(self):
+        wide = take(two_phase(code_lines=2048, pcs_per_pattern=16), 2000)
+        lines = {r[0] >> 6 for r in wide}
+        assert len(lines) > 8

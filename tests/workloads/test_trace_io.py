@@ -1,0 +1,184 @@
+"""Trace file I/O: native format round-trips and ChampSim import."""
+
+import struct
+
+import pytest
+
+from repro.workloads.trace import BRANCH, LOAD, STORE, TAKEN
+from repro.workloads.trace_io import (
+    ChampsimWorkload,
+    FileWorkload,
+    convert_champsim,
+    read_trace,
+    snapshot_workload,
+    write_trace,
+)
+from repro.workloads import by_name
+
+RECORDS = [
+    (0x400000, 0x10000, LOAD, 3),
+    (0x400004, 0x20040, STORE, 0),
+    (0x400008, 0x10040, LOAD | BRANCH | TAKEN, 7),
+]
+
+
+class TestNativeFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.rptr"
+        assert write_trace(RECORDS, path, name="demo") == 3
+        name, records = read_trace(path)
+        assert name == "demo"
+        assert list(records) == RECORDS
+
+    def test_gzip_roundtrip(self, tmp_path):
+        path = tmp_path / "t.rptr.gz"
+        write_trace(RECORDS, path, name="demo")
+        _, records = read_trace(path)
+        assert list(records) == RECORDS
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.rptr"
+        path.write_bytes(b"NOPE" + b"\0" * 60)
+        with pytest.raises(ValueError, match="bad magic"):
+            read_trace(path)
+
+    def test_file_workload_restartable(self, tmp_path):
+        path = tmp_path / "t.rptr"
+        write_trace(RECORDS, path, name="demo")
+        w = FileWorkload(path)
+        assert w.name == "demo"
+        assert list(w.generate()) == list(w.generate()) == RECORDS
+
+    def test_snapshot_workload_bounds_instructions(self, tmp_path):
+        path = tmp_path / "snap.rptr"
+        snapshot_workload(by_name("hmmer"), path, instructions=500)
+        _, records = read_trace(path)
+        total = sum(1 + r[3] for r in records)
+        assert 500 <= total <= 560
+
+    def test_snapshot_replays_in_simulator(self, tmp_path):
+        from repro.core.policies import DiscardPgc
+        from repro.cpu.simulator import SimConfig, simulate
+
+        path = tmp_path / "snap.rptr"
+        snapshot_workload(by_name("hmmer"), path, instructions=6_000)
+        w = FileWorkload(path)
+        config = SimConfig(policy_factory=DiscardPgc, warmup_instructions=1_000, sim_instructions=4_000)
+        direct = simulate(by_name("hmmer"), config)
+        replayed = simulate(w, config)
+        assert replayed.ipc == pytest.approx(direct.ipc)
+
+
+def champsim_instr(ip, *, branch=0, taken=0, src=(), dst=()):
+    src = tuple(src) + (0,) * (4 - len(src))
+    dst = tuple(dst) + (0,) * (2 - len(dst))
+    return struct.pack("<Q2B6B6Q", ip, branch, taken, 0, 0, 0, 0, 0, 0, *dst, *src)
+
+
+class TestChampsimImport:
+    def write_trace(self, tmp_path, instrs):
+        path = tmp_path / "t.champsim"
+        path.write_bytes(b"".join(instrs))
+        return path
+
+    def test_loads_and_stores_extracted(self, tmp_path):
+        path = self.write_trace(tmp_path, [
+            champsim_instr(0x400000, src=[0x1000]),
+            champsim_instr(0x400004, dst=[0x2000]),
+        ])
+        records = list(ChampsimWorkload(path).generate())
+        assert records == [
+            (0x400000, 0x1000, LOAD, 0),
+            (0x400004, 0x2000, STORE, 0),
+        ]
+
+    def test_memory_free_instructions_fold_into_gap(self, tmp_path):
+        path = self.write_trace(tmp_path, [
+            champsim_instr(0x1),          # no memory
+            champsim_instr(0x2),          # no memory
+            champsim_instr(0x3, src=[0x5000]),
+        ])
+        records = list(ChampsimWorkload(path).generate())
+        assert records == [(0x3, 0x5000, LOAD, 2)]
+
+    def test_branch_rides_next_record(self, tmp_path):
+        path = self.write_trace(tmp_path, [
+            champsim_instr(0x1, branch=1, taken=1),
+            champsim_instr(0x2, src=[0x5000]),
+        ])
+        (record,) = ChampsimWorkload(path).generate()
+        assert record[2] & BRANCH
+        assert record[2] & TAKEN
+        assert record[3] == 1
+
+    def test_multi_operand_instruction(self, tmp_path):
+        path = self.write_trace(tmp_path, [
+            champsim_instr(0x1, src=[0x1000, 0x2000], dst=[0x3000]),
+        ])
+        records = list(ChampsimWorkload(path).generate())
+        assert [(r[1], r[2] & (LOAD | STORE)) for r in records] == [
+            (0x1000, LOAD), (0x2000, LOAD), (0x3000, STORE),
+        ]
+
+    def test_convert_to_native(self, tmp_path):
+        src = self.write_trace(tmp_path, [
+            champsim_instr(0x1, src=[0x1000]),
+            champsim_instr(0x2, dst=[0x2000]),
+        ])
+        dst = tmp_path / "out.rptr"
+        assert convert_champsim(src, dst) == 2
+        _, records = read_trace(dst)
+        assert len(list(records)) == 2
+
+    def test_imported_trace_simulates(self, tmp_path):
+        from repro.core.policies import DiscardPgc
+        from repro.cpu.simulator import SimConfig, simulate
+
+        instrs = []
+        for i in range(4000):
+            instrs.append(champsim_instr(0x400000 + (i % 16) * 4, src=[0x100000 + i * 64]))
+        path = self.write_trace(tmp_path, instrs)
+        w = ChampsimWorkload(path, name="imported")
+        config = SimConfig(policy_factory=DiscardPgc, warmup_instructions=500, sim_instructions=2_000)
+        result = simulate(w, config)
+        assert result.workload == "imported"
+        assert result.ipc > 0
+
+
+import os
+import tempfile
+
+from hypothesis import given, settings, strategies as st
+
+record_strategy = st.tuples(
+    st.integers(min_value=0, max_value=(1 << 64) - 1),  # pc
+    st.integers(min_value=0, max_value=(1 << 64) - 1),  # vaddr
+    st.integers(min_value=0, max_value=63),             # flags
+    st.integers(min_value=0, max_value=(1 << 32) - 1),  # gap
+)
+
+
+class TestRoundtripProperties:
+    @given(st.lists(record_strategy, max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_any_record_list_roundtrips(self, records):
+        fd, path = tempfile.mkstemp(suffix=".rptr")
+        os.close(fd)
+        try:
+            write_trace(records, path, name="prop")
+            _, loaded = read_trace(path)
+            assert list(loaded) == records
+        finally:
+            os.unlink(path)
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=80))
+    @settings(max_examples=25, deadline=None)
+    def test_ascii_names_truncate_to_32_bytes(self, name):
+        fd, path = tempfile.mkstemp(suffix=".rptr")
+        os.close(fd)
+        try:
+            write_trace([], path, name=name)
+            loaded_name, _ = read_trace(path)
+            assert loaded_name == name[:32].rstrip("\x00")
+        finally:
+            os.unlink(path)
