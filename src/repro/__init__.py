@@ -27,6 +27,7 @@ from repro.core import (
     make_ppf_dthr,
 )
 from repro.cpu import MixResult, SimConfig, SimResult, simulate, simulate_mix
+from repro.obs import Observability, Probe, RunJournal, TimelineRecorder
 from repro.params import DEFAULT_PARAMS, SystemParams
 from repro.workloads import by_name, seen_workloads, unseen_workloads
 
@@ -49,6 +50,10 @@ __all__ = [
     "SimResult",
     "simulate",
     "simulate_mix",
+    "Observability",
+    "Probe",
+    "RunJournal",
+    "TimelineRecorder",
     "DEFAULT_PARAMS",
     "SystemParams",
     "by_name",

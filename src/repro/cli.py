@@ -4,24 +4,35 @@ Subcommands::
 
     python -m repro run       --workload astar --prefetcher berti --policy dripper
     python -m repro compare   --workload astar --policies discard permit dripper
+    python -m repro inspect   --workload astar --policy dripper
     python -m repro workloads --set seen --suite GAP
     python -m repro features
     python -m repro storage
     python -m repro snapshot  --workload astar --out astar.rptr --instructions 100000
     python -m repro convert   --champsim trace.bin --out trace.rptr
+
+``run``, ``compare``, and ``inspect`` accept observability flags:
+``--timeline-out`` (per-epoch CSV/JSONL time series), ``--journal``
+(append-only JSONL run records), ``--profile`` (per-component wall-time
+breakdown of the hot paths), and ``--json`` (machine-readable stdout).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from dataclasses import asdict
 from typing import Optional, Sequence
 
 from repro.core.dripper import storage_breakdown_bits, storage_overhead_kib
 from repro.core.features import FEATURES, TABLE_I_FEATURES
+from repro.core.filter import PerceptronFilter
+from repro.core.introspect import filter_state, format_filter_state
 from repro.core.system_features import SYSTEM_FEATURES
 from repro.experiments.report import format_pct, format_table
 from repro.experiments.runner import RunSpec, run_one
+from repro.obs import Observability, Probe, RunJournal, TimelineRecorder
 from repro.workloads import (
     by_name,
     non_intensive_workloads,
@@ -66,29 +77,127 @@ def _resolve_workload(args: argparse.Namespace):
     return by_name(args.workload)
 
 
+def _make_obs(args: argparse.Namespace, *, keep_engine: bool = False) -> Optional[Observability]:
+    """Build an Observability bundle from CLI flags (None when all are off)."""
+    timeline = None
+    if getattr(args, "timeline_out", None):
+        timeline = TimelineRecorder(sample_every=getattr(args, "timeline_every", 1))
+    journal = RunJournal(args.journal) if getattr(args, "journal", None) else None
+    probe = Probe() if getattr(args, "profile", False) else None
+    if timeline is None and journal is None and probe is None and not keep_engine:
+        return None
+    return Observability(timeline=timeline, journal=journal, probe=probe, keep_engine=keep_engine)
+
+
+def _emit_obs(args: argparse.Namespace, obs: Optional[Observability]) -> None:
+    """Flush timeline/journal sinks and print the profile breakdown."""
+    if obs is None:
+        return
+    if obs.timeline is not None:
+        count = obs.timeline.write(args.timeline_out)
+        print(f"timeline: {count} epoch rows -> {args.timeline_out}", file=sys.stderr)
+    if obs.journal is not None:
+        print(f"journal: {obs.journal.records_written} record(s) -> {obs.journal.path}",
+              file=sys.stderr)
+    obs.close()
+    if obs.probe is not None and not getattr(args, "json", False):
+        print(obs.probe.format_breakdown(wall_seconds=obs.last_wall_seconds))
+
+
+def _json_payload(workload, spec: RunSpec, result, obs: Optional[Observability]) -> dict:
+    payload = {
+        "workload": workload.name,
+        "spec": asdict(spec),
+        "result": asdict(result),
+        "derived": {
+            "prefetch_accuracy": result.prefetch_accuracy,
+            "prefetch_coverage": result.prefetch_coverage,
+            "pgc_accuracy": result.pgc_accuracy,
+            "branch_mpki": result.branch_mpki,
+        },
+    }
+    if obs is not None:
+        payload["wall_seconds"] = obs.last_wall_seconds
+        if obs.probe is not None:
+            payload["profile"] = obs.probe.breakdown()
+    return payload
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """`repro run`: one workload, one policy, full metric table."""
     workload = _resolve_workload(args)
-    result = run_one(workload, _spec(args, args.policy))
-    print(format_table(["metric", "value"], _result_rows(result),
-                       f"{workload.name} / {args.prefetcher} / {args.policy}"))
+    spec = _spec(args, args.policy)
+    obs = _make_obs(args)
+    result = run_one(workload, spec, obs=obs)
+    if args.json:
+        print(json.dumps(_json_payload(workload, spec, result, obs), indent=2))
+    else:
+        print(format_table(["metric", "value"], _result_rows(result),
+                           f"{workload.name} / {args.prefetcher} / {args.policy}"))
+    _emit_obs(args, obs)
     return 0
+
+
+def _speedup_cell(result, base) -> Optional[float]:
+    """Speedup-1 in percent, or None when the baseline IPC is degenerate."""
+    try:
+        return 100 * (result.speedup_over(base) - 1)
+    except ValueError:
+        return None
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     """`repro compare`: one workload under several policies."""
     workload = _resolve_workload(args)
-    results = [run_one(workload, _spec(args, policy)) for policy in args.policies]
+    obs = _make_obs(args)
+    results = [run_one(workload, _spec(args, policy), obs=obs) for policy in args.policies]
     base = results[0]
-    rows = [
-        (r.policy, f"{r.ipc:.4f}", format_pct(100 * (r.speedup_over(base) - 1)),
-         f"{r.pgc_issued}", f"{r.pgc_useful}", f"{r.pgc_useless}")
-        for r in results
-    ]
-    print(format_table(
-        ["policy", "IPC", f"vs {args.policies[0]}", "pgc issued", "useful", "useless"],
-        rows, f"{workload.name} / {args.prefetcher}",
-    ))
+    speedups = [_speedup_cell(r, base) for r in results]
+    if args.json:
+        print(json.dumps({
+            "workload": workload.name,
+            "prefetcher": args.prefetcher,
+            "baseline": args.policies[0],
+            "runs": [
+                {"policy": r.policy, "ipc": r.ipc, "speedup_pct": s,
+                 "pgc_issued": r.pgc_issued, "pgc_useful": r.pgc_useful,
+                 "pgc_useless": r.pgc_useless}
+                for r, s in zip(results, speedups)
+            ],
+        }, indent=2))
+    else:
+        rows = [
+            (r.policy, f"{r.ipc:.4f}", format_pct(s) if s is not None else "n/a",
+             f"{r.pgc_issued}", f"{r.pgc_useful}", f"{r.pgc_useless}")
+            for r, s in zip(results, speedups)
+        ]
+        print(format_table(
+            ["policy", "IPC", f"vs {args.policies[0]}", "pgc issued", "useful", "useless"],
+            rows, f"{workload.name} / {args.prefetcher}",
+        ))
+    _emit_obs(args, obs)
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """`repro inspect`: run a workload, then dump the trained filter state."""
+    workload = _resolve_workload(args)
+    spec = _spec(args, args.policy)
+    obs = _make_obs(args, keep_engine=True)
+    result = run_one(workload, spec, obs=obs)
+    policy = obs.last_engine.policy
+    if not isinstance(policy, PerceptronFilter):
+        print(f"policy {policy.name!r} is not a perceptron filter; nothing to inspect",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        payload = _json_payload(workload, spec, result, obs)
+        payload["filter"] = filter_state(policy)
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{workload.name} / {args.prefetcher} / {policy.name}: IPC {result.ipc:.4f}")
+        print(format_filter_state(policy))
+    _emit_obs(args, obs)
     return 0
 
 
@@ -100,6 +209,13 @@ def cmd_workloads(args: argparse.Namespace) -> int:
         "non-intensive": non_intensive_workloads,
     }
     workloads = sets[args.set]()
+    if args.suite is not None:
+        known = sorted({w.suite for w in workloads})
+        if args.suite not in known:
+            raise SystemExit(
+                f"unknown suite {args.suite!r} in the {args.set!r} set; "
+                f"known suites: {', '.join(known)}"
+            )
     rows = [
         (w.name, w.suite, f"{w.mean_gap:.1f}")
         for w in workloads
@@ -146,6 +262,13 @@ def cmd_storage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -163,16 +286,37 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--large-pages", type=float, default=0.0,
                        help="fraction of 2MB-backed regions (0..1)")
 
+    def add_obs_args(p: argparse.ArgumentParser) -> None:
+        g = p.add_argument_group("observability")
+        g.add_argument("--timeline-out", metavar="PATH", default=None,
+                       help="write the per-epoch timeline (CSV if PATH ends in .csv, else JSONL)")
+        g.add_argument("--timeline-every", type=_positive_int, default=1, metavar="N",
+                       help="sample every Nth epoch (default: every epoch)")
+        g.add_argument("--journal", metavar="PATH", default=None,
+                       help="append one JSONL run-journal record per run")
+        g.add_argument("--profile", action="store_true",
+                       help="time the hot paths; print a per-component breakdown")
+        g.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON on stdout")
+
     run_p = sub.add_parser("run", help="run one workload under one policy")
     add_sim_args(run_p)
     run_p.add_argument("--policy", default="dripper", choices=_POLICIES)
+    add_obs_args(run_p)
     run_p.set_defaults(func=cmd_run)
 
     cmp_p = sub.add_parser("compare", help="run one workload under several policies")
     add_sim_args(cmp_p)
     cmp_p.add_argument("--policies", nargs="+", default=["discard", "permit", "dripper"],
                        choices=_POLICIES)
+    add_obs_args(cmp_p)
     cmp_p.set_defaults(func=cmd_compare)
+
+    ins_p = sub.add_parser("inspect", help="run a workload, then dump the filter's learned state")
+    add_sim_args(ins_p)
+    ins_p.add_argument("--policy", default="dripper", choices=_POLICIES)
+    add_obs_args(ins_p)
+    ins_p.set_defaults(func=cmd_inspect)
 
     wl_p = sub.add_parser("workloads", help="list registered workloads")
     wl_p.add_argument("--set", default="seen", choices=("seen", "unseen", "non-intensive"))

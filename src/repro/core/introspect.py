@@ -39,6 +39,22 @@ def top_weights(filter_: PerceptronFilter, feature_index: int = 0, n: int = 10) 
     return [(i, w) for i, w in ranked[:n] if w != 0]
 
 
+def quick_state(filter_: PerceptronFilter) -> dict[str, Any]:
+    """Cheap snapshot (no weight-table scans) safe to take every epoch.
+
+    The timeline recorder samples this at each epoch boundary; keep it O(1)
+    in the filter's table sizes.
+    """
+    return {
+        "threshold": filter_.threshold.current,
+        "predictions": filter_.predictions,
+        "permits": filter_.permits,
+        "permit_rate": filter_.permits / filter_.predictions if filter_.predictions else 0.0,
+        "vub_occupancy": len(filter_.vub),
+        "pub_occupancy": len(filter_.pub),
+    }
+
+
 def filter_state(filter_: PerceptronFilter) -> dict[str, Any]:
     """One-call snapshot: weights, buffers, threshold, decision counters."""
     threshold = filter_.threshold

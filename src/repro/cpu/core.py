@@ -18,7 +18,7 @@ training state.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.context import FeatureContext
 from repro.core.policies import PageCrossPolicy
@@ -34,6 +34,10 @@ from repro.vm.page_table import PageTable, Translation
 from repro.vm.tlb import Tlb
 from repro.vm.walker import PageWalker
 from repro.workloads.trace import BRANCH, DEPENDS, LOAD, MISPREDICT, STORE, TAKEN
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.system_state import EpochStats as _EpochStats
+    from repro.obs.profiling import Probe
 
 
 class PgcStats:
@@ -157,6 +161,30 @@ class CoreEngine:
         # warm-up boundary
         self._measure_start_instr = 0
         self._measure_start_cycle = 0.0
+        self.measuring = False
+
+        # observability seams: the hot paths call through these cached bound
+        # references (no attribute chain per call); enable_profiling swaps
+        # them for timed wrappers, so an unprofiled run pays nothing — not
+        # even a branch.  epoch_listener (if set) hears each finished epoch.
+        self.probe: Optional["Probe"] = None
+        self.epoch_listener: Optional[Callable[["CoreEngine", "_EpochStats"], None]] = None
+        self._pf_on_access = l1d_prefetcher.on_access
+        self._policy_decide = policy.decide
+        self._walk = walker.walk
+        self._mem_load = hierarchy.load
+        self._mem_store = hierarchy.store
+        self._mem_ifetch = hierarchy.ifetch
+
+    def enable_profiling(self, probe: "Probe") -> None:
+        """Instrument the hot paths with per-component wall-time probes."""
+        self.probe = probe
+        self._pf_on_access = probe.timed("prefetcher", self.prefetcher.on_access)
+        self._policy_decide = probe.timed("policy.decide", self.policy.decide)
+        self._walk = probe.timed("page_walk", self.walker.walk)
+        self._mem_load = probe.timed("cache.load", self.hierarchy.load)
+        self._mem_store = probe.timed("cache.store", self.hierarchy.store)
+        self._mem_ifetch = probe.timed("cache.ifetch", self.hierarchy.ifetch)
 
     # ------------------------------------------------------------------
     # translation paths
@@ -172,7 +200,7 @@ class CoreEngine:
             self.dtlb.insert(tr)
             return latency, tr
         latency += self.stlb.latency
-        walk = self.walker.walk(vaddr, t + latency, speculative=False)
+        walk = self._walk(vaddr, t + latency, speculative=False)
         latency += walk.latency
         self.stlb.insert(walk.translation)
         self.dtlb.insert(walk.translation)
@@ -189,7 +217,7 @@ class CoreEngine:
             self.itlb.insert(tr)
             return latency, tr
         latency += self.stlb.latency
-        walk = self.walker.walk(vaddr, t + latency, speculative=False)
+        walk = self._walk(vaddr, t + latency, speculative=False)
         latency += walk.latency
         self.stlb.insert(walk.translation)
         self.itlb.insert(walk.translation)
@@ -199,7 +227,7 @@ class CoreEngine:
     # prefetch plumbing (Figure 5)
 
     def _handle_prefetches(self, trigger_vaddr: int, trigger_tr: Translation, t: float, pc: int, hit: bool) -> None:
-        requests = self.prefetcher.on_access(pc, trigger_vaddr, hit, t)
+        requests = self._pf_on_access(pc, trigger_vaddr, hit, t)
         if not requests:
             return
         trigger_page = trigger_vaddr >> PAGE_4K_SHIFT
@@ -218,7 +246,7 @@ class CoreEngine:
             filter_this = not (same_translation and getattr(self.policy, "filter_at_native_boundary", False))
             if filter_this:
                 self.system_state.l1d_inflight_misses = self.hierarchy.l1d.in_flight_misses
-                decision = self.policy.decide(req, self.fctx, self.system_state)
+                decision = self._policy_decide(req, self.fctx, self.system_state)
                 if not decision.issue:
                     self.pgc.discarded += 1
                     self.policy.on_discarded(target >> LINE_SHIFT, decision.record)
@@ -243,7 +271,7 @@ class CoreEngine:
                         self.pgc.discarded_no_translation += 1
                         self.policy.on_discarded(target >> LINE_SHIFT, record)
                         continue
-                    walk = self.walker.walk(target, t + trans_lat, speculative=True)
+                    walk = self._walk(target, t + trans_lat, speculative=True)
                     trans_lat += walk.latency
                     tr = walk.translation
                     self.stlb.insert(tr, from_prefetch=True)
@@ -268,7 +296,7 @@ class CoreEngine:
             self._last_iline = iline
             ilat, itr = self._translate_instruction(pc, fetch_t)
             ibase = itr.physical(pc)
-            flat = self.hierarchy.ifetch(ibase, fetch_t + ilat)
+            flat = self._mem_ifetch(ibase, fetch_t + ilat)
             penalty = (ilat - self.itlb.latency) + (flat - self.hierarchy.l1i.latency)
             if penalty > 0:
                 fetch_t += penalty
@@ -278,7 +306,7 @@ class CoreEngine:
             extra_lines = (gap * 4) >> LINE_SHIFT
             if extra_lines:
                 for k in range(1, min(extra_lines, 8) + 1):
-                    flat = self.hierarchy.ifetch(ibase + (k << LINE_SHIFT), fetch_t)
+                    flat = self._mem_ifetch(ibase + (k << LINE_SHIFT), fetch_t)
                     if flat > self.hierarchy.l1i.latency:
                         fetch_t += flat - self.hierarchy.l1i.latency
 
@@ -305,7 +333,7 @@ class CoreEngine:
             paddr = tr.physical(vaddr)
             t_mem = dispatch + trans_lat
             if flags & LOAD:
-                mlat, hit = self.hierarchy.load(paddr, t_mem)
+                mlat, hit = self._mem_load(paddr, t_mem)
                 complete = t_mem + mlat
                 self._last_load_complete = complete
                 if not hit:
@@ -315,7 +343,7 @@ class CoreEngine:
                         for line in self.l2_prefetcher.on_access(paddr >> LINE_SHIFT, t_mem):
                             self.hierarchy.prefetch_l2(line << LINE_SHIFT, t_mem)
             else:
-                complete = t_mem + self.hierarchy.store(paddr, t_mem)
+                complete = t_mem + self._mem_store(paddr, t_mem)
                 hit = True
             self.fctx.update(pc, vaddr)
             self._handle_prefetches(vaddr, tr, t_mem, pc, hit)
@@ -408,6 +436,8 @@ class CoreEngine:
         state.rob_stall_fraction = epoch.rob_stall_fraction
         state.last_epoch = epoch
         self.policy.on_epoch(epoch)
+        if self.epoch_listener is not None:
+            self.epoch_listener(self, epoch)
 
     # ------------------------------------------------------------------
     # warm-up / measurement boundary
@@ -416,6 +446,7 @@ class CoreEngine:
         """Snapshot all statistics: everything before this call was warm-up."""
         self._measure_start_instr = self.instructions
         self._measure_start_cycle = self.retire_t
+        self.measuring = True
         self.hierarchy.snapshot()
         self.dtlb.snapshot()
         self.itlb.snapshot()

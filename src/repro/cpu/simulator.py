@@ -10,7 +10,8 @@ usefulness counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.policies import DiscardPgc, PageCrossPolicy
 from repro.cpu.core import CoreEngine
@@ -24,6 +25,9 @@ from repro.vm.psc import SplitPsc
 from repro.vm.tlb import Tlb
 from repro.vm.walker import PageWalker
 from repro.workloads.trace import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 #: builds a fresh policy per run (policies are stateful and must not be shared)
 PolicyFactory = Callable[[], PageCrossPolicy]
@@ -88,6 +92,9 @@ class SimResult:
     # branch prediction (hashed perceptron predictor of Table IV)
     branches: int = 0
     branch_mispredicts: int = 0
+    #: raw demand L1D misses over the measured region (the MPKI above is a
+    #: derived rate; coverage needs the exact count)
+    l1d_demand_misses: int = 0
 
     @property
     def branch_mpki(self) -> float:
@@ -108,7 +115,7 @@ class SimResult:
     @property
     def prefetch_coverage(self) -> float:
         """Fraction of would-be demand misses covered by prefetching."""
-        would_be = self.prefetch_useful + self._measured_l1d_misses
+        would_be = self.prefetch_useful + self.l1d_demand_misses
         return self.prefetch_useful / would_be if would_be else 0.0
 
     @property
@@ -127,17 +134,18 @@ class SimResult:
         """Useless page-cross prefetches per kilo-instruction (Figure 13)."""
         return 1000.0 * self.pgc_useless / self.instructions if self.instructions else 0.0
 
-    @property
-    def _measured_l1d_misses(self) -> int:
-        return int(round(self.l1d_mpki * self.instructions / 1000.0))
-
     def speedup_over(self, baseline: "SimResult") -> float:
         """IPC speedup of this run over a baseline run of the same workload."""
         if baseline.workload != self.workload:
             raise ValueError(
                 f"speedup_over compares runs of the same workload; got {self.workload!r} vs {baseline.workload!r}"
             )
-        return self.ipc / baseline.ipc if baseline.ipc else 0.0
+        if baseline.ipc == 0:
+            raise ValueError(
+                f"cannot compute speedup over baseline {baseline.policy!r} on "
+                f"{baseline.workload!r}: its IPC is zero (did the baseline run retire anything?)"
+            )
+        return self.ipc / baseline.ipc
 
 
 def build_engine(config: SimConfig, *, shared_llc=None, shared_dram=None,
@@ -216,16 +224,27 @@ def collect_result(engine: CoreEngine, workload_name: str, config: SimConfig) ->
         dram_writes=h.dram.measured_writes,
         branches=engine.branch_predictor.measured_predictions,
         branch_mispredicts=engine.branch_predictor.measured_mispredictions,
+        l1d_demand_misses=h.l1d.demand_stats.measured_misses,
     )
 
 
-def simulate(workload: Workload, config: SimConfig) -> SimResult:
-    """Run one workload under one configuration (warm-up + measured region)."""
+def simulate(
+    workload: Workload, config: SimConfig, *, obs: Optional["Observability"] = None
+) -> SimResult:
+    """Run one workload under one configuration (warm-up + measured region).
+
+    Pass an :class:`~repro.obs.Observability` bundle to record an epoch
+    timeline, journal the run, and/or profile the hot paths; with ``obs``
+    omitted the run executes the exact unobserved fast path.
+    """
     engine = build_engine(config)
+    if obs is not None:
+        obs.attach(engine, workload)
     warm_limit = config.warmup_instructions
     total_limit = warm_limit + config.sim_instructions
     step = engine.step
     measuring = False
+    wall_start = perf_counter()
     for pc, vaddr, flags, gap in workload.generate():
         step(pc, vaddr, flags, gap)
         if not measuring and engine.instructions >= warm_limit:
@@ -233,9 +252,13 @@ def simulate(workload: Workload, config: SimConfig) -> SimResult:
             measuring = True
         if engine.instructions >= total_limit:
             break
+    wall_seconds = perf_counter() - wall_start
     if not measuring:
         raise ValueError(
             f"workload {workload.name!r} ended after {engine.instructions} instructions, "
             f"before the {warm_limit}-instruction warm-up completed"
         )
-    return collect_result(engine, workload.name, config)
+    result = collect_result(engine, workload.name, config)
+    if obs is not None:
+        obs.finish(engine, workload, config, result, wall_seconds)
+    return result

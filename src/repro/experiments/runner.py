@@ -7,14 +7,17 @@ paper's shorter warm-up/simulation for the Qualcomm traces (Section IV-A1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Callable, Optional, Sequence
+from dataclasses import asdict, dataclass, replace
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.core.dripper import make_dripper, make_dripper_sf
 from repro.core.policies import DiscardPgc, DiscardPtw, PageCrossPolicy, PermitPgc
 from repro.core.ppf import make_ppf, make_ppf_dthr
 from repro.cpu.simulator import SimConfig, SimResult, simulate
 from repro.workloads.synthetic import SyntheticWorkload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 #: DRIPPER's hardware budget, handed to the prefetcher in the ISO scenario
 ISO_STORAGE_BYTES = 1475
@@ -80,9 +83,18 @@ class RunSpec:
         )
 
 
-def run_one(workload: SyntheticWorkload, spec: RunSpec) -> SimResult:
-    """Simulate one workload under one spec."""
-    return simulate(workload, spec.config_for(workload))
+def run_one(
+    workload: SyntheticWorkload, spec: RunSpec, *, obs: Optional["Observability"] = None
+) -> SimResult:
+    """Simulate one workload under one spec.
+
+    With an observability bundle, the originating :class:`RunSpec` is
+    attached to the journal record's ``context`` so sweep cells stay
+    traceable to the grid coordinates that produced them.
+    """
+    if obs is not None:
+        obs.context["spec"] = asdict(spec)
+    return simulate(workload, spec.config_for(workload), obs=obs)
 
 
 def run_many(
@@ -90,11 +102,12 @@ def run_many(
     spec: RunSpec,
     *,
     progress: Optional[Callable[[str, SimResult], None]] = None,
+    obs: Optional["Observability"] = None,
 ) -> list[SimResult]:
     """Run a spec across workloads (optionally reporting per-run progress)."""
     results = []
     for workload in workloads:
-        result = run_one(workload, spec)
+        result = run_one(workload, spec, obs=obs)
         results.append(result)
         if progress is not None:
             progress(workload.name, result)

@@ -8,13 +8,16 @@ at each point — the sensitivity analyses backing the ablation benches.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.cpu.simulator import SimConfig, SimResult, simulate
 from repro.experiments.metrics import geomean_speedup, speedup_percent
 from repro.experiments.runner import RunSpec, policy_factory
 from repro.params import SystemParams, TlbParams
 from repro.workloads.synthetic import SyntheticWorkload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 
 #: maps a sweep value onto SystemParams
 ParamsTransform = Callable[[SystemParams, int], SystemParams]
@@ -43,8 +46,13 @@ def sweep_parameter(
     policies: Sequence[str] = ("permit", "dripper"),
     prefetcher: str = "berti",
     base_spec: RunSpec | None = None,
+    obs: Optional["Observability"] = None,
 ) -> dict[int, dict[str, float]]:
-    """Sweep one parameter; returns {value: {policy: geomean % over discard}}."""
+    """Sweep one parameter; returns {value: {policy: geomean % over discard}}.
+
+    With an observability bundle every cell's run is journaled, tagged with
+    its sweep coordinates (``context.sweep``).
+    """
     spec = base_spec or RunSpec(prefetcher=prefetcher)
     out: dict[int, dict[str, float]] = {}
     for value in values:
@@ -58,7 +66,9 @@ def sweep_parameter(
                     params=transform(config.params, value),
                     policy_factory=policy_factory(policy, prefetcher),
                 )
-                runs.append(simulate(workload, config))
+                if obs is not None:
+                    obs.context["sweep"] = {"value": value, "policy": policy}
+                runs.append(simulate(workload, config, obs=obs))
             results[policy] = runs
         out[value] = {
             policy: speedup_percent(geomean_speedup(results[policy], results["discard"]))
@@ -73,6 +83,7 @@ def sweep_epoch_length(
     *,
     prefetcher: str = "berti",
     base_spec: RunSpec | None = None,
+    obs: Optional["Observability"] = None,
 ) -> dict[int, float]:
     """Sensitivity of DRIPPER to the adaptive scheme's epoch length."""
     spec = base_spec or RunSpec(prefetcher=prefetcher)
@@ -81,7 +92,9 @@ def sweep_epoch_length(
     for workload in workloads:
         config = spec.config_for(workload)
         config = replace(config, policy_factory=policy_factory("discard", prefetcher))
-        base_runs.append(simulate(workload, config))
+        if obs is not None:
+            obs.context["sweep"] = {"epoch_instructions": None, "policy": "discard"}
+        base_runs.append(simulate(workload, config, obs=obs))
     for epoch in epoch_lengths:
         runs = []
         for workload in workloads:
@@ -91,6 +104,8 @@ def sweep_epoch_length(
                 policy_factory=policy_factory("dripper", prefetcher),
                 epoch_instructions=epoch,
             )
-            runs.append(simulate(workload, config))
+            if obs is not None:
+                obs.context["sweep"] = {"epoch_instructions": epoch, "policy": "dripper"}
+            runs.append(simulate(workload, config, obs=obs))
         out[epoch] = speedup_percent(geomean_speedup(runs, base_runs))
     return out

@@ -1,0 +1,113 @@
+"""Observability layer: run journal, epoch timelines, and profiling probes.
+
+One :class:`Observability` bundle is handed to
+:func:`repro.cpu.simulator.simulate` (or the experiment runner / sweep
+helpers) and wires up to three independent instruments:
+
+* :class:`~repro.obs.timeline.TimelineRecorder` — per-epoch time series of
+  the run's dynamics (IPC, MPKI deltas, page-cross activity, the filter's
+  threshold and permit rate);
+* :class:`~repro.obs.journal.RunJournal` — an append-only JSONL record per
+  run: full config, workload identity + seed, result, wall time, host;
+* :class:`~repro.obs.profiling.Probe` — per-component wall-time breakdown
+  of the simulator's hot paths (prefetcher invoke, policy decide, page
+  walk, cache access).
+
+All three are strictly opt-in: a run without an `Observability` bundle
+executes the exact unobserved hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.core.filter import PerceptronFilter
+from repro.core.introspect import filter_state
+from repro.obs.journal import (
+    RunJournal,
+    build_run_record,
+    describe_config,
+    describe_workload,
+    host_info,
+    read_journal,
+)
+from repro.obs.profiling import NULL_PROBE, Probe, ScopedTimer
+from repro.obs.timeline import TIMELINE_FIELDS, TimelineRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cpu.core import CoreEngine
+    from repro.cpu.simulator import SimConfig, SimResult
+
+
+@dataclass
+class Observability:
+    """Per-run instrument bundle passed to ``simulate(..., obs=...)``."""
+
+    timeline: Optional[TimelineRecorder] = None
+    journal: Optional[RunJournal] = None
+    probe: Optional[Probe] = None
+    #: retain the finished engine on `last_engine` (for filter inspection)
+    keep_engine: bool = False
+    #: merged into each journal record under the ``context`` key; callers
+    #: (e.g. the runner) use it to attach the RunSpec or sweep coordinates
+    context: dict[str, Any] = field(default_factory=dict)
+    # per-run capture, refreshed by finish()
+    last_engine: Optional["CoreEngine"] = None
+    last_wall_seconds: float = 0.0
+    last_filter_state: Optional[dict[str, Any]] = None
+    runs: int = 0
+
+    def attach(self, engine: "CoreEngine", workload: Any) -> None:
+        """Hook the instruments into a freshly built engine (pre-run)."""
+        if self.timeline is not None:
+            self.timeline.start_run(getattr(workload, "name", str(workload)))
+            engine.epoch_listener = self.timeline.on_epoch
+        if self.probe is not None:
+            engine.enable_profiling(self.probe)
+
+    def finish(
+        self,
+        engine: "CoreEngine",
+        workload: Any,
+        config: "SimConfig",
+        result: "SimResult",
+        wall_seconds: float,
+    ) -> None:
+        """Capture end-of-run state and journal the run (post-run)."""
+        self.runs += 1
+        self.last_wall_seconds = wall_seconds
+        self.last_engine = engine if self.keep_engine else None
+        if isinstance(engine.policy, PerceptronFilter):
+            self.last_filter_state = filter_state(engine.policy)
+        else:
+            self.last_filter_state = None
+        if self.journal is not None:
+            self.journal.record(
+                workload=workload,
+                config=config,
+                result=result,
+                wall_seconds=wall_seconds,
+                extra=self.context or None,
+            )
+
+    def close(self) -> None:
+        """Flush/close any owned sinks (currently the journal)."""
+        if self.journal is not None:
+            self.journal.close()
+
+
+__all__ = [
+    "Observability",
+    "TimelineRecorder",
+    "TIMELINE_FIELDS",
+    "RunJournal",
+    "read_journal",
+    "build_run_record",
+    "describe_config",
+    "describe_workload",
+    "host_info",
+    "Probe",
+    "ScopedTimer",
+    "NULL_PROBE",
+]

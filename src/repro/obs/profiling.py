@@ -1,0 +1,134 @@
+"""Low-overhead profiling hooks: wall-time probes for the simulator hot paths.
+
+A :class:`Probe` accumulates per-component wall time (``perf_counter``
+based).  It is wired into the engine by *replacing* the engine's cached
+bound calls with timed wrappers (see ``CoreEngine.enable_profiling``), so a
+run without profiling pays nothing — not even a branch — on the hot paths.
+
+Two usage styles:
+
+* ``probe.timed(component, fn)`` — wrap a callable; every invocation adds
+  its duration to the component's bucket;
+* ``with probe.timer(component): ...`` — a :class:`ScopedTimer` for timing
+  arbitrary blocks (a no-op when the probe is disabled).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Callable, Optional
+
+
+class Probe:
+    """Per-component wall-time accumulator."""
+
+    __slots__ = ("enabled", "totals", "counts")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    def add(self, component: str, seconds: float, calls: int = 1) -> None:
+        """Charge `seconds` (and `calls` invocations) to a component."""
+        self.totals[component] = self.totals.get(component, 0.0) + seconds
+        self.counts[component] = self.counts.get(component, 0) + calls
+
+    def timed(self, component: str, fn: Callable) -> Callable:
+        """Wrap `fn` so every call is timed into `component`.
+
+        Returns `fn` unchanged when the probe is disabled, so instrumented
+        code keeps its original call overhead.
+        """
+        if not self.enabled:
+            return fn
+        totals = self.totals
+        counts = self.counts
+        totals.setdefault(component, 0.0)
+        counts.setdefault(component, 0)
+
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            t0 = perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                totals[component] += perf_counter() - t0
+                counts[component] += 1
+
+        return wrapper
+
+    def timer(self, component: str) -> "ScopedTimer":
+        """A context manager timing its block into `component`."""
+        return ScopedTimer(self, component)
+
+    def reset(self) -> None:
+        """Drop all accumulated times and counts."""
+        self.totals.clear()
+        self.counts.clear()
+
+    @property
+    def instrumented_seconds(self) -> float:
+        """Total wall time charged to any component."""
+        return sum(self.totals.values())
+
+    def breakdown(self) -> dict[str, dict[str, float]]:
+        """Per-component ``{seconds, calls, us_per_call}``, slowest first."""
+        out: dict[str, dict[str, float]] = {}
+        for component in sorted(self.totals, key=self.totals.get, reverse=True):
+            seconds = self.totals[component]
+            calls = self.counts.get(component, 0)
+            out[component] = {
+                "seconds": seconds,
+                "calls": calls,
+                "us_per_call": 1e6 * seconds / calls if calls else 0.0,
+            }
+        return out
+
+    def format_breakdown(self, wall_seconds: Optional[float] = None) -> str:
+        """Human-readable per-component table (printed at the end of a run)."""
+        rows = self.breakdown()
+        if not rows:
+            return "profile: no instrumented calls recorded"
+        total = self.instrumented_seconds
+        denom = wall_seconds if wall_seconds else total
+        header = "profile breakdown"
+        if wall_seconds:
+            header += (
+                f" (wall {wall_seconds:.3f}s, instrumented "
+                f"{total:.3f}s = {100 * total / wall_seconds:.0f}%)"
+            )
+        lines = [header]
+        name_w = max(len("component"), *(len(n) for n in rows))
+        lines.append(f"  {'component'.ljust(name_w)}  {'calls':>9}  {'seconds':>8}  {'share':>6}  {'us/call':>8}")
+        for component, info in rows.items():
+            share = 100 * info["seconds"] / denom if denom else 0.0
+            lines.append(
+                f"  {component.ljust(name_w)}  {int(info['calls']):>9}  "
+                f"{info['seconds']:>8.3f}  {share:>5.1f}%  {info['us_per_call']:>8.2f}"
+            )
+        return "\n".join(lines)
+
+
+class ScopedTimer:
+    """Times a ``with`` block into a probe component; no-op when disabled."""
+
+    __slots__ = ("_probe", "_component", "_t0")
+
+    def __init__(self, probe: Optional[Probe], component: str):
+        self._probe = probe if (probe is not None and probe.enabled) else None
+        self._component = component
+        self._t0 = 0.0
+
+    def __enter__(self) -> "ScopedTimer":
+        if self._probe is not None:
+            self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        if self._probe is not None:
+            self._probe.add(self._component, perf_counter() - self._t0)
+        return False
+
+
+#: a shared always-disabled probe (handy default for optional probe params)
+NULL_PROBE = Probe(enabled=False)

@@ -1,8 +1,14 @@
 """Filter introspection helpers."""
 
 from repro.core.context import FeatureContext, PrefetchRequest
-from repro.core.dripper import make_dripper
-from repro.core.introspect import filter_state, format_filter_state, top_weights, weight_summary
+from repro.core.dripper import make_dripper, make_dripper_sf
+from repro.core.introspect import (
+    filter_state,
+    format_filter_state,
+    quick_state,
+    top_weights,
+    weight_summary,
+)
 from repro.core.system_state import SystemState
 
 
@@ -52,3 +58,34 @@ class TestFilterState:
         assert "dripper[berti]" in text
         assert "Delta" in text
         assert "vUB" in text
+
+    def test_format_renders_system_only_filter(self):
+        """dripper-sf has no program features; formatting must still work."""
+        text = format_filter_state(make_dripper_sf("berti"))
+        assert "dripper-sf[berti]" in text
+        assert "system:sTLB MPKI" in text
+
+    def test_untrained_filter_state_is_all_zero(self):
+        state = filter_state(make_dripper("berti"))
+        assert state["predictions"] == 0
+        assert state["permit_rate"] == 0.0
+        assert state["weights"]["Delta"]["nonzero"] == 0
+
+
+class TestQuickState:
+    def test_matches_filter_state_on_shared_fields(self):
+        d = trained_dripper()
+        quick = quick_state(d)
+        full = filter_state(d)
+        for key in ("threshold", "predictions", "permits", "permit_rate",
+                    "vub_occupancy", "pub_occupancy"):
+            assert quick[key] == full[key], key
+
+    def test_no_weight_tables(self):
+        """quick_state is the per-epoch sampler: it must stay O(1)-small."""
+        assert "weights" not in quick_state(trained_dripper())
+
+    def test_untrained(self):
+        quick = quick_state(make_dripper("berti"))
+        assert quick["predictions"] == 0
+        assert quick["permit_rate"] == 0.0

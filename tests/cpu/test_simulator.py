@@ -64,6 +64,21 @@ class TestSimulate:
         b = simulate(stream_workload(), quick_config(policy_factory=PermitPgc))
         assert b.speedup_over(a) == pytest.approx(b.ipc / a.ipc)
 
+    def test_speedup_over_rejects_zero_ipc_baseline(self):
+        import dataclasses
+
+        a = simulate(stream_workload(), quick_config())
+        broken = dataclasses.replace(a, ipc=0.0)
+        with pytest.raises(ValueError, match="IPC is zero"):
+            a.speedup_over(broken)
+
+    def test_coverage_uses_raw_measured_misses(self):
+        r = simulate(stream_workload(), quick_config(policy_factory=PermitPgc))
+        # the raw count is carried on the result, not reconstructed from MPKI
+        assert r.l1d_demand_misses == round(r.l1d_mpki * r.instructions / 1000.0)
+        would_be = r.prefetch_useful + r.l1d_demand_misses
+        assert r.prefetch_coverage == (r.prefetch_useful / would_be if would_be else 0.0)
+
     def test_speedup_over_rejects_workload_mismatch(self):
         a = simulate(stream_workload(), quick_config())
         other = SyntheticWorkload(

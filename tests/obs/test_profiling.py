@@ -1,0 +1,110 @@
+"""Probe / ScopedTimer behaviour."""
+
+import time
+
+from repro.obs.profiling import NULL_PROBE, Probe, ScopedTimer
+
+
+class TestTimedWrapper:
+    def test_counts_calls_and_accumulates_time(self):
+        probe = Probe()
+        fn = probe.timed("work", lambda x: x * 2)
+        assert fn(3) == 6
+        assert fn(4) == 8
+        assert probe.counts["work"] == 2
+        assert probe.totals["work"] >= 0.0
+
+    def test_return_value_and_exceptions_pass_through(self):
+        probe = Probe()
+
+        def boom():
+            raise RuntimeError("boom")
+
+        wrapped = probe.timed("boom", boom)
+        try:
+            wrapped()
+        except RuntimeError:
+            pass
+        else:  # pragma: no cover - defensive
+            raise AssertionError("exception swallowed")
+        # the failing call is still charged
+        assert probe.counts["boom"] == 1
+
+    def test_disabled_probe_returns_original_function(self):
+        def fn():
+            return 1
+
+        assert NULL_PROBE.timed("x", fn) is fn
+        assert NULL_PROBE.totals == {}
+
+
+class TestScopedTimer:
+    def test_times_a_block(self):
+        probe = Probe()
+        with probe.timer("sleep"):
+            time.sleep(0.002)
+        assert probe.totals["sleep"] >= 0.001
+        assert probe.counts["sleep"] == 1
+
+    def test_noop_when_disabled(self):
+        with ScopedTimer(NULL_PROBE, "x"):
+            pass
+        assert "x" not in NULL_PROBE.totals
+
+    def test_noop_without_probe(self):
+        with ScopedTimer(None, "x"):
+            pass  # must not raise
+
+
+class TestBreakdown:
+    def _loaded_probe(self):
+        probe = Probe()
+        probe.add("slow", 0.3, calls=10)
+        probe.add("fast", 0.1, calls=1000)
+        return probe
+
+    def test_sorted_by_time_descending(self):
+        bd = self._loaded_probe().breakdown()
+        assert list(bd) == ["slow", "fast"]
+        assert bd["fast"]["calls"] == 1000
+        assert abs(bd["slow"]["us_per_call"] - 30_000) < 1e-6
+
+    def test_format_includes_wall_share(self):
+        text = self._loaded_probe().format_breakdown(wall_seconds=0.8)
+        assert "profile breakdown" in text
+        assert "slow" in text and "fast" in text
+        assert "50%" in text  # 0.4s instrumented of 0.8s wall
+
+    def test_format_empty(self):
+        assert "no instrumented calls" in Probe().format_breakdown()
+
+    def test_reset(self):
+        probe = self._loaded_probe()
+        probe.reset()
+        assert probe.instrumented_seconds == 0.0
+        assert probe.breakdown() == {}
+
+
+class TestEngineIntegration:
+    def test_profiled_run_covers_hot_paths_without_perturbing_results(self):
+        from repro.core.dripper import make_dripper
+        from repro.cpu.simulator import SimConfig, simulate
+        from repro.obs import Observability
+        from repro.workloads import by_name
+
+        config = SimConfig(
+            prefetcher="berti",
+            policy_factory=lambda: make_dripper("berti"),
+            warmup_instructions=1_000,
+            sim_instructions=3_000,
+        )
+        plain = simulate(by_name("astar"), config)
+        probe = Probe()
+        profiled = simulate(by_name("astar"), config, obs=Observability(probe=probe))
+        # instrumentation observes, never perturbs, the simulated machine
+        assert profiled.ipc == plain.ipc
+        assert profiled.l1d_mpki == plain.l1d_mpki
+        assert set(probe.totals) >= {"cache.load", "cache.ifetch", "prefetcher",
+                                     "policy.decide", "page_walk"}
+        assert probe.counts["cache.load"] > 0
+        assert probe.counts["page_walk"] > 0

@@ -1,5 +1,7 @@
 """CLI smoke tests."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -40,6 +42,13 @@ class TestCommands:
         assert "cc.road" in out
         assert "astar" not in out
 
+    def test_workloads_unknown_suite_errors(self):
+        with pytest.raises(SystemExit) as err:
+            main(["workloads", "--set", "seen", "--suite", "BOGUS"])
+        message = str(err.value)
+        assert "BOGUS" in message
+        assert "GAP" in message and "SPEC" in message  # lists the known suites
+
     def test_run_small(self, capsys):
         code = main([
             "run", "--workload", "hmmer", "--policy", "discard",
@@ -60,6 +69,93 @@ class TestCommands:
     def test_unknown_workload_raises(self):
         with pytest.raises(KeyError):
             main(["run", "--workload", "nope", "--warmup", "100", "--sim", "100"])
+
+
+class TestObservabilityFlags:
+    _FAST = ["--warmup", "1000", "--sim", "4000"]
+
+    def test_run_with_timeline_journal_profile(self, tmp_path, capsys):
+        timeline = tmp_path / "timeline.jsonl"
+        journal = tmp_path / "journal.jsonl"
+        code = main([
+            "run", "--workload", "astar", "--policy", "dripper", *self._FAST,
+            "--timeline-out", str(timeline), "--journal", str(journal), "--profile",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "profile breakdown" in captured.out
+        assert "cache.load" in captured.out
+
+        rows = [json.loads(line) for line in timeline.read_text().splitlines()]
+        assert len(rows) >= 2  # 5000 instructions / 2048-instruction epochs
+        assert all("threshold" in r and "permit_rate" in r for r in rows)
+        assert all(r["permit_rate"] is not None for r in rows)
+
+        rec = json.loads(journal.read_text().splitlines()[0])
+        assert rec["config"]["policy"] == "dripper[berti]"
+        assert rec["wall_seconds"] > 0
+        assert rec["context"]["spec"]["policy"] == "dripper"
+
+    def test_run_json_output(self, capsys):
+        code = main(["run", "--workload", "hmmer", "--policy", "discard",
+                     *self._FAST, "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "hmmer"
+        assert payload["result"]["ipc"] > 0
+        assert "prefetch_coverage" in payload["derived"]
+        assert payload["spec"]["policy"] == "discard"
+
+    def test_json_with_profile_stays_parseable(self, capsys):
+        code = main(["run", "--workload", "hmmer", "--policy", "discard",
+                     *self._FAST, "--json", "--profile"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "cache.load" in payload["profile"]
+
+    def test_compare_json(self, capsys):
+        code = main(["compare", "--workload", "hmmer", "--policies", "discard", "permit",
+                     *self._FAST, "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["baseline"] == "discard"
+        assert len(payload["runs"]) == 2
+        assert payload["runs"][0]["speedup_pct"] == 0.0
+
+    def test_compare_timeline_csv(self, tmp_path, capsys):
+        timeline = tmp_path / "timeline.csv"
+        code = main(["compare", "--workload", "hmmer", "--policies", "discard", "permit",
+                     *self._FAST, "--timeline-out", str(timeline)])
+        assert code == 0
+        lines = timeline.read_text().splitlines()
+        assert lines[0].startswith("run,workload,epoch")
+        # both runs contribute rows, tagged 0 and 1
+        assert any(line.startswith("0,hmmer") for line in lines[1:])
+        assert any(line.startswith("1,hmmer") for line in lines[1:])
+
+
+class TestInspect:
+    def test_inspect_dripper(self, capsys):
+        code = main(["inspect", "--workload", "astar",
+                     "--warmup", "1000", "--sim", "4000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dripper[berti]" in out
+        assert "T_a=" in out
+
+    def test_inspect_json(self, capsys):
+        code = main(["inspect", "--workload", "astar", "--json",
+                     "--warmup", "1000", "--sim", "4000"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["filter"]["name"] == "dripper[berti]"
+        assert "threshold" in payload["filter"]
+
+    def test_inspect_static_policy_fails_cleanly(self, capsys):
+        code = main(["inspect", "--workload", "astar", "--policy", "discard",
+                     "--warmup", "1000", "--sim", "4000"])
+        assert code == 1
+        assert "not a perceptron filter" in capsys.readouterr().err
 
 
 class TestTraceCommands:

@@ -13,6 +13,7 @@ PACKAGES = (
     "repro.prefetch",
     "repro.workloads",
     "repro.experiments",
+    "repro.obs",
 )
 
 
@@ -36,7 +37,8 @@ class TestTopLevel:
 
         for name in ("simulate", "simulate_mix", "SimConfig", "SimResult",
                      "make_dripper", "make_ppf", "by_name", "DEFAULT_PARAMS",
-                     "PermitPgc", "DiscardPgc", "DiscardPtw"):
+                     "PermitPgc", "DiscardPgc", "DiscardPtw",
+                     "Observability", "TimelineRecorder", "RunJournal", "Probe"):
             assert name in repro.__all__
             assert getattr(repro, name) is not None
 

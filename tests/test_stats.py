@@ -57,6 +57,35 @@ class TestSnapshot:
         assert s.misses == 2
         assert s.measured_misses == 1
 
+    def test_resnapshot_moves_the_boundary(self):
+        s = HitMissStats()
+        s.record(False)
+        s.snapshot()
+        s.record(False)
+        s.record(True)
+        s.snapshot()
+        assert s.measured_accesses == 0
+        assert s.measured_misses == 0
+        s.record(False)
+        assert s.measured_misses == 1
+        assert s.misses == 3
+
+    def test_mpki_uses_measured_misses_only(self):
+        s = HitMissStats()
+        for _ in range(7):
+            s.record(False)
+        s.snapshot()
+        for _ in range(2):
+            s.record(False)
+        assert s.mpki(1000) == 2.0
+
+    def test_snapshot_before_any_access_is_identity(self):
+        s = HitMissStats()
+        s.snapshot()
+        s.record(False)
+        assert s.measured_accesses == s.accesses == 1
+        assert s.measured_misses == s.misses == 1
+
     @given(st.lists(st.booleans(), max_size=60), st.lists(st.booleans(), max_size=60))
     def test_measured_equals_post_snapshot_events(self, warmup, measured):
         s = HitMissStats()
