@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro run       --workload astar --prefetcher berti --policy dripper
     python -m repro compare   --workload astar --policies discard permit dripper
+    python -m repro sweep     --param stlb --values 384 768 1536 --workloads astar hmmer
     python -m repro inspect   --workload astar --policy dripper
     python -m repro workloads --set seen --suite GAP
     python -m repro features
@@ -11,10 +12,13 @@ Subcommands::
     python -m repro snapshot  --workload astar --out astar.rptr --instructions 100000
     python -m repro convert   --champsim trace.bin --out trace.rptr
 
-``run``, ``compare``, and ``inspect`` accept observability flags:
+``run``, ``compare``, ``sweep``, and ``inspect`` accept observability flags:
 ``--timeline-out`` (per-epoch CSV/JSONL time series), ``--journal``
 (append-only JSONL run records), ``--profile`` (per-component wall-time
 breakdown of the hot paths), and ``--json`` (machine-readable stdout).
+``compare`` and ``sweep`` additionally accept ``--jobs`` (process-pool grid
+execution) and ``--cache-dir`` (content-addressed result cache; unchanged
+cells are never re-simulated).
 """
 
 from __future__ import annotations
@@ -30,8 +34,16 @@ from repro.core.features import FEATURES, TABLE_I_FEATURES
 from repro.core.filter import PerceptronFilter
 from repro.core.introspect import filter_state, format_filter_state
 from repro.core.system_features import SYSTEM_FEATURES
+from repro.experiments.cache import ResultCache
 from repro.experiments.report import format_pct, format_table
 from repro.experiments.runner import RunSpec, run_one
+from repro.experiments.sweep import (
+    dram_latency_transform,
+    dtlb_size_transform,
+    stlb_size_transform,
+    sweep_epoch_length,
+    sweep_parameter,
+)
 from repro.obs import Observability, Probe, RunJournal, TimelineRecorder
 from repro.workloads import (
     by_name,
@@ -146,11 +158,30 @@ def _speedup_cell(result, base) -> Optional[float]:
         return None
 
 
+def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    return ResultCache(args.cache_dir) if getattr(args, "cache_dir", None) else None
+
+
+def _emit_cache_stats(cache: Optional[ResultCache]) -> None:
+    if cache is not None:
+        stats = cache.stats
+        print(f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+              f"{stats['stores']} store(s) -> {cache.root}", file=sys.stderr)
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     """`repro compare`: one workload under several policies."""
     workload = _resolve_workload(args)
     obs = _make_obs(args)
-    results = [run_one(workload, _spec(args, policy), obs=obs) for policy in args.policies]
+    cache = _make_cache(args)
+    specs = [_spec(args, policy) for policy in args.policies]
+    if args.jobs > 1 or cache is not None:
+        from repro.experiments.parallel import cell_for, run_cells
+
+        cells = [cell_for(workload, spec) for spec in specs]
+        results = run_cells(cells, jobs=args.jobs, cache=cache, obs=obs)
+    else:
+        results = [run_one(workload, spec, obs=obs) for spec in specs]
     base = results[0]
     speedups = [_speedup_cell(r, base) for r in results]
     if args.json:
@@ -175,6 +206,56 @@ def cmd_compare(args: argparse.Namespace) -> int:
             ["policy", "IPC", f"vs {args.policies[0]}", "pgc issued", "useful", "useless"],
             rows, f"{workload.name} / {args.prefetcher}",
         ))
+    _emit_cache_stats(cache)
+    _emit_obs(args, obs)
+    return 0
+
+
+_SWEEP_TRANSFORMS = {
+    "stlb": stlb_size_transform,
+    "dtlb": dtlb_size_transform,
+    "dram-latency": dram_latency_transform,
+}
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """`repro sweep`: a sensitivity sweep over several workloads."""
+    workloads = [by_name(name) for name in args.workloads]
+    spec = RunSpec(
+        prefetcher=args.prefetcher,
+        warmup_instructions=args.warmup,
+        sim_instructions=args.sim,
+    )
+    obs = _make_obs(args)
+    cache = _make_cache(args)
+    common = dict(base_spec=spec, obs=obs, jobs=args.jobs, cache=cache)
+    if args.param == "epoch":
+        epoch_data = sweep_epoch_length(workloads, args.values, **common)
+        data = {value: {"dripper": pct} for value, pct in epoch_data.items()}
+        policies = ["dripper"]
+    else:
+        data = sweep_parameter(
+            workloads, _SWEEP_TRANSFORMS[args.param], args.values,
+            policies=tuple(args.policies), **common,
+        )
+        policies = list(args.policies)
+    if args.json:
+        print(json.dumps({
+            "param": args.param,
+            "prefetcher": args.prefetcher,
+            "workloads": [w.name for w in workloads],
+            "points": {str(v): data[v] for v in args.values},
+        }, indent=2))
+    else:
+        rows = [
+            (str(value), *(format_pct(data[value][p]) for p in policies))
+            for value in args.values
+        ]
+        print(format_table(
+            [args.param, *policies], rows,
+            f"sweep {args.param} / {args.prefetcher} / {len(workloads)} workload(s), % over discard",
+        ))
+    _emit_cache_stats(cache)
     _emit_obs(args, obs)
     return 0
 
@@ -286,6 +367,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--large-pages", type=float, default=0.0,
                        help="fraction of 2MB-backed regions (0..1)")
 
+    def add_parallel_args(p: argparse.ArgumentParser) -> None:
+        g = p.add_argument_group("execution")
+        g.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                       help="run grid cells on N worker processes (default: serial)")
+        g.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="content-addressed result cache; unchanged cells are "
+                            "served from disk instead of re-simulated")
+
     def add_obs_args(p: argparse.ArgumentParser) -> None:
         g = p.add_argument_group("observability")
         g.add_argument("--timeline-out", metavar="PATH", default=None,
@@ -309,8 +398,27 @@ def build_parser() -> argparse.ArgumentParser:
     add_sim_args(cmp_p)
     cmp_p.add_argument("--policies", nargs="+", default=["discard", "permit", "dripper"],
                        choices=_POLICIES)
+    add_parallel_args(cmp_p)
     add_obs_args(cmp_p)
     cmp_p.set_defaults(func=cmd_compare)
+
+    swp_p = sub.add_parser("sweep", help="sweep one hardware parameter over several workloads")
+    swp_p.add_argument("--param", required=True,
+                       choices=("stlb", "dtlb", "dram-latency", "epoch"),
+                       help="which knob to sweep (epoch sweeps DRIPPER's epoch length)")
+    swp_p.add_argument("--values", type=_positive_int, nargs="+", required=True,
+                       help="sweep points (entries / cycles / instructions)")
+    swp_p.add_argument("--workloads", nargs="+", required=True, metavar="NAME",
+                       help="registry workload names")
+    swp_p.add_argument("--policies", nargs="+", default=["permit", "dripper"],
+                       choices=_POLICIES, help="policies compared against discard")
+    swp_p.add_argument("--prefetcher", default="berti",
+                       choices=("berti", "berti-timely", "ipcp", "bop", "stride", "next-line", "none"))
+    swp_p.add_argument("--warmup", type=int, default=20_000)
+    swp_p.add_argument("--sim", type=int, default=60_000)
+    add_parallel_args(swp_p)
+    add_obs_args(swp_p)
+    swp_p.set_defaults(func=cmd_sweep)
 
     ins_p = sub.add_parser("inspect", help="run a workload, then dump the filter's learned state")
     add_sim_args(ins_p)

@@ -95,6 +95,10 @@ class SimResult:
     #: raw demand L1D misses over the measured region (the MPKI above is a
     #: derived rate; coverage needs the exact count)
     l1d_demand_misses: int = 0
+    #: measured-region length the config asked for; `instructions` is what
+    #: actually retired (finite traces can end early — `simulate` raises on
+    #: truncation, but journaled/cached records keep both for auditing)
+    requested_instructions: int = 0
 
     @property
     def branch_mpki(self) -> float:
@@ -225,6 +229,7 @@ def collect_result(engine: CoreEngine, workload_name: str, config: SimConfig) ->
         branches=engine.branch_predictor.measured_predictions,
         branch_mispredicts=engine.branch_predictor.measured_mispredictions,
         l1d_demand_misses=h.l1d.demand_stats.measured_misses,
+        requested_instructions=config.sim_instructions,
     )
 
 
@@ -257,6 +262,13 @@ def simulate(
         raise ValueError(
             f"workload {workload.name!r} ended after {engine.instructions} instructions, "
             f"before the {warm_limit}-instruction warm-up completed"
+        )
+    if engine.instructions < total_limit:
+        raise ValueError(
+            f"workload {workload.name!r} ended after {engine.instructions} instructions, "
+            f"truncating the measured region to "
+            f"{engine.measured_instructions} of the requested "
+            f"{config.sim_instructions} instructions"
         )
     result = collect_result(engine, workload.name, config)
     if obs is not None:

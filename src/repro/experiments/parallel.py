@@ -1,0 +1,268 @@
+"""Parallel, cached execution of experiment-grid cells.
+
+Every grid helper (``run_many``/``run_policies``/the sweeps) lowers its loop
+nest to a flat list of :class:`Cell`\\ s — picklable descriptions of one
+(workload × spec × overrides) point — and hands them to :func:`run_cells`:
+
+* ``jobs=1`` executes the cells in input order, in process, through exactly
+  the code path the serial helpers always used;
+* ``jobs>1`` dispatches the cells to a :class:`ProcessPoolExecutor` and
+  reassembles the results **in input order**, so callers cannot observe the
+  scheduling;
+* ``cache=`` (a :class:`~repro.experiments.cache.ResultCache`) makes cells
+  content-addressed: a cell whose full config + workload seed was already
+  simulated — earlier in the same batch, in a previous call, or in a
+  previous process — is served from disk instead of re-simulated.
+
+Determinism: a simulation is a pure function of (workload identity + seed,
+config) — trace generation, large-page allocation, and every replacement
+decision are seeded — so parallel results are identical to serial ones, and
+cache hits are identical to re-runs (floats survive JSON round-trips
+exactly).
+
+Journaling under ``jobs>1``: the parent's :class:`RunJournal` holds a shared
+file handle that is not fork-safe, so each worker appends to its own JSONL
+shard (``shard-<pid>.jsonl`` in a temporary directory) and the parent merges
+the shards into its journal once the pool drains.  Per-cell grid coordinates
+travel *in the cell* (``Cell.context``), never by mutating a shared
+``Observability`` — which is also what keeps the serial path's records free
+of stale coordinates.  Timelines and profiling probes are in-process
+instruments and remain ``jobs=1`` only.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
+
+from repro.cpu.simulator import SimConfig, SimResult, simulate
+from repro.experiments.cache import CACHE_SCHEMA, ResultCache, fingerprint
+from repro.experiments.runner import RunSpec, policy_factory
+from repro.obs.journal import describe_config, describe_workload
+from repro.params import SystemParams
+from repro.workloads.registry import by_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
+
+#: callback fired as each cell's result lands: (cell index, result, cached?)
+ResultHook = Callable[[int, SimResult, bool], None]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One picklable grid cell: workload identity + spec + overrides.
+
+    ``workload`` is a registry name resolved via
+    :func:`~repro.workloads.registry.by_name` in whichever process runs the
+    cell; non-registry workloads (e.g. a :class:`FileWorkload`) ride along
+    as ``workload_obj`` and must themselves be picklable to cross a process
+    boundary.  ``policy`` overrides only the policy *factory* (mirroring the
+    sweeps' ``replace(config, policy_factory=...)``), leaving every other
+    spec-derived knob — e.g. ISO's extra prefetcher storage — untouched.
+    """
+
+    workload: str
+    spec: RunSpec
+    policy: Optional[str] = None
+    params: Optional[SystemParams] = None
+    epoch_instructions: Optional[int] = None
+    #: journal-context entries for this cell (sweep coordinates etc.);
+    #: the run's `spec` is always recorded alongside
+    context: Optional[dict[str, Any]] = None
+    workload_obj: Optional[Any] = None
+
+    def resolve_workload(self) -> Any:
+        """The workload object this cell runs (registry lookup by default)."""
+        if self.workload_obj is not None:
+            return self.workload_obj
+        return by_name(self.workload)
+
+
+def cell_for(workload: Any, spec: RunSpec, **overrides: Any) -> Cell:
+    """Build a Cell, carrying the workload by registry name when possible."""
+    name = getattr(workload, "name", str(workload))
+    try:
+        registered = by_name(name) is workload
+    except KeyError:
+        registered = False
+    return Cell(
+        workload=name,
+        spec=spec,
+        workload_obj=None if registered else workload,
+        **overrides,
+    )
+
+
+def build_config(cell: Cell, workload: Any) -> SimConfig:
+    """Materialise the cell's SimConfig exactly as the serial helpers do."""
+    config = cell.spec.config_for(workload)
+    overrides: dict[str, Any] = {}
+    if cell.params is not None:
+        overrides["params"] = cell.params
+    if cell.policy is not None:
+        overrides["policy_factory"] = policy_factory(cell.policy, cell.spec.prefetcher)
+    if cell.epoch_instructions is not None:
+        overrides["epoch_instructions"] = cell.epoch_instructions
+    return replace(config, **overrides) if overrides else config
+
+
+def cell_fingerprint(cell: Cell, workload: Optional[Any] = None) -> str:
+    """Content hash of everything the cell's result depends on.
+
+    Covers the workload identity (name, suite, seed, generator knobs), the
+    declarative spec, and the fully materialised config dump — every
+    hardware parameter included — so *any* config change invalidates the
+    entry.
+    """
+    if workload is None:
+        workload = cell.resolve_workload()
+    config = build_config(cell, workload)
+    identity = describe_workload(workload)
+    for knob in ("store_fraction", "code_lines", "mispredict_rate",
+                 "branch_profile", "pcs_per_pattern", "path"):
+        value = getattr(workload, knob, None)
+        if value is not None:
+            identity[knob] = value
+    return fingerprint({
+        "schema": CACHE_SCHEMA,
+        "workload": identity,
+        "spec": asdict(cell.spec),
+        "policy": cell.policy,
+        "config": describe_config(config, policy_name=cell.policy or cell.spec.policy),
+    })
+
+
+def execute_cell(cell: Cell, *, obs: Optional["Observability"] = None) -> SimResult:
+    """Run one cell in the current process (the `jobs=1` path)."""
+    workload = cell.resolve_workload()
+    config = build_config(cell, workload)
+    if obs is not None:
+        with obs.scoped(spec=asdict(cell.spec), **(cell.context or {})):
+            return simulate(workload, config, obs=obs)
+    return simulate(workload, config, obs=obs)
+
+
+# ---------------------------------------------------------------------------
+# worker side (module-level so both fork and spawn start methods can pickle it)
+
+_WORKER_SHARD_DIR: Optional[str] = None
+_WORKER_OBS: Optional["Observability"] = None
+
+
+def _init_worker(shard_dir: Optional[str]) -> None:
+    global _WORKER_SHARD_DIR, _WORKER_OBS
+    _WORKER_SHARD_DIR = shard_dir
+    _WORKER_OBS = None
+
+
+def _worker_obs() -> Optional["Observability"]:
+    """Lazily open this worker's journal shard (one file per process)."""
+    global _WORKER_OBS
+    if _WORKER_SHARD_DIR is None:
+        return None
+    if _WORKER_OBS is None:
+        from repro.obs import Observability, RunJournal
+
+        shard = Path(_WORKER_SHARD_DIR) / f"shard-{os.getpid()}.jsonl"
+        _WORKER_OBS = Observability(journal=RunJournal(shard))
+    return _WORKER_OBS
+
+
+def _run_cell_worker(index: int, cell: Cell) -> tuple[int, SimResult]:
+    return index, execute_cell(cell, obs=_worker_obs())
+
+
+# ---------------------------------------------------------------------------
+# parent side
+
+
+def run_cells(
+    cells: Sequence[Cell],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    obs: Optional["Observability"] = None,
+    on_result: Optional[ResultHook] = None,
+) -> list[SimResult]:
+    """Execute a batch of cells; results come back in input order.
+
+    With a cache, cells are first looked up by fingerprint and identical
+    in-flight cells are coalesced: the first occurrence simulates, the rest
+    are served from the freshly written entry (they count as cache hits).
+    Only simulated cells are journaled — the journal stays a log of actual
+    simulations, while cache stats account for the saved ones.
+    """
+    cells = list(cells)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    results: list[Optional[SimResult]] = [None] * len(cells)
+    keys: list[Optional[str]] = [None] * len(cells)
+    duplicates: dict[int, list[int]] = {}
+    pending: list[int] = []
+
+    if cache is not None:
+        primary: dict[str, int] = {}
+        for i, cell in enumerate(cells):
+            key = cell_fingerprint(cell)
+            keys[i] = key
+            if key in primary:  # identical in-flight cell: coalesce
+                duplicates.setdefault(primary[key], []).append(i)
+                continue
+            cached = cache.get(key)
+            if cached is not None:
+                results[i] = cached
+                if on_result is not None:
+                    on_result(i, cached, True)
+            else:
+                primary[key] = i
+                pending.append(i)
+    else:
+        pending = list(range(len(cells)))
+
+    def finish(i: int, result: SimResult) -> None:
+        results[i] = result
+        if cache is not None:
+            cache.put(keys[i], result, meta={"workload": cells[i].workload})
+        if on_result is not None:
+            on_result(i, result, False)
+        for dup in duplicates.get(i, ()):
+            dup_result = cache.get(keys[dup]) if cache is not None else None
+            results[dup] = dup_result if dup_result is not None else result
+            if on_result is not None:
+                on_result(dup, results[dup], True)
+
+    workers = min(jobs, len(pending))
+    if workers <= 1:
+        for i in pending:
+            finish(i, execute_cell(cells[i], obs=obs))
+    else:
+        if obs is not None and (obs.timeline is not None or obs.probe is not None):
+            raise ValueError(
+                "timeline/probe instruments are in-process only; run with jobs=1 "
+                "or pass an Observability bundle with just a journal"
+            )
+        journal = obs.journal if obs is not None else None
+        with tempfile.TemporaryDirectory(prefix="repro-shards-") as shard_dir:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(shard_dir if journal is not None else None,),
+            ) as pool:
+                futures = [pool.submit(_run_cell_worker, i, cells[i]) for i in pending]
+                for future in as_completed(futures):
+                    i, result = future.result()
+                    finish(i, result)
+            if journal is not None:
+                from repro.obs.journal import merge_shards
+
+                obs.runs += merge_shards(journal, shard_dir)
+
+    missing = [i for i, r in enumerate(results) if r is None]
+    if missing:  # pragma: no cover - defensive; every path above fills results
+        raise RuntimeError(f"cells {missing} produced no result")
+    return results  # type: ignore[return-value]

@@ -17,6 +17,7 @@ from repro.cpu.simulator import SimConfig, SimResult, simulate
 from repro.workloads.synthetic import SyntheticWorkload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.cache import ResultCache
     from repro.obs import Observability
 
 #: DRIPPER's hardware budget, handed to the prefetcher in the ISO scenario
@@ -90,10 +91,12 @@ def run_one(
 
     With an observability bundle, the originating :class:`RunSpec` is
     attached to the journal record's ``context`` so sweep cells stay
-    traceable to the grid coordinates that produced them.
+    traceable to the grid coordinates that produced them; the key is scoped
+    to this run and cannot leak into later runs on the same bundle.
     """
     if obs is not None:
-        obs.context["spec"] = asdict(spec)
+        with obs.scoped(spec=asdict(spec)):
+            return simulate(workload, spec.config_for(workload), obs=obs)
     return simulate(workload, spec.config_for(workload), obs=obs)
 
 
@@ -103,27 +106,77 @@ def run_many(
     *,
     progress: Optional[Callable[[str, SimResult], None]] = None,
     obs: Optional["Observability"] = None,
+    jobs: int = 1,
+    cache: Optional["ResultCache"] = None,
 ) -> list[SimResult]:
-    """Run a spec across workloads (optionally reporting per-run progress)."""
-    results = []
-    for workload in workloads:
-        result = run_one(workload, spec, obs=obs)
-        results.append(result)
-        if progress is not None:
-            progress(workload.name, result)
-    return results
+    """Run a spec across workloads (optionally reporting per-run progress).
+
+    ``jobs`` > 1 fans the runs out to worker processes and ``cache`` serves
+    previously simulated cells from disk (see
+    :mod:`repro.experiments.parallel`); results always come back in workload
+    order, identical to a serial run.  With parallel/cached execution,
+    ``progress`` fires in completion order rather than input order.
+    """
+    if jobs == 1 and cache is None:
+        results = []
+        for workload in workloads:
+            result = run_one(workload, spec, obs=obs)
+            results.append(result)
+            if progress is not None:
+                progress(workload.name, result)
+        return results
+
+    from repro.experiments.parallel import cell_for, run_cells
+
+    cells = [cell_for(workload, spec) for workload in workloads]
+    on_result = None
+    if progress is not None:
+        names = [w.name for w in workloads]
+
+        def on_result(index: int, result: SimResult, cached: bool) -> None:
+            progress(names[index], result)
+
+    return run_cells(cells, jobs=jobs, cache=cache, obs=obs, on_result=on_result)
 
 
 def run_policies(
     workloads: Sequence[SyntheticWorkload],
     policies: Sequence[str],
     *,
-    prefetcher: str = "berti",
+    prefetcher: Optional[str] = None,
     base_spec: Optional[RunSpec] = None,
+    obs: Optional["Observability"] = None,
+    jobs: int = 1,
+    cache: Optional["ResultCache"] = None,
 ) -> dict[str, list[SimResult]]:
-    """Run several policies over the same workloads; returns policy -> results."""
-    spec = base_spec or RunSpec(prefetcher=prefetcher)
-    out: dict[str, list[SimResult]] = {}
-    for policy in policies:
-        out[policy] = run_many(workloads, replace(spec, prefetcher=prefetcher, policy=policy))
-    return out
+    """Run several policies over the same workloads; returns policy -> results.
+
+    ``prefetcher`` overrides the spec's prefetcher only when explicitly
+    given — a caller-supplied ``base_spec`` keeps its own prefetcher
+    otherwise (it used to be silently clobbered with the default).  The
+    whole (policy × workload) grid is dispatched as one batch, so ``jobs``
+    parallelises across policies as well as workloads.
+    """
+    spec = base_spec or RunSpec(prefetcher=prefetcher or "berti")
+    if prefetcher is not None:
+        spec = replace(spec, prefetcher=prefetcher)
+    policy_specs = {policy: replace(spec, policy=policy) for policy in policies}
+    if jobs == 1 and cache is None:
+        return {
+            policy: run_many(workloads, policy_spec, obs=obs)
+            for policy, policy_spec in policy_specs.items()
+        }
+
+    from repro.experiments.parallel import cell_for, run_cells
+
+    cells = [
+        cell_for(workload, policy_spec)
+        for policy_spec in policy_specs.values()
+        for workload in workloads
+    ]
+    flat = run_cells(cells, jobs=jobs, cache=cache, obs=obs)
+    n = len(workloads)
+    return {
+        policy: flat[i * n:(i + 1) * n]
+        for i, policy in enumerate(policy_specs)
+    }

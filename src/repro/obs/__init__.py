@@ -19,8 +19,9 @@ executes the exact unobserved hot path.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Iterator, Optional
 
 from repro.core.filter import PerceptronFilter
 from repro.core.introspect import filter_state
@@ -30,6 +31,7 @@ from repro.obs.journal import (
     describe_config,
     describe_workload,
     host_info,
+    merge_shards,
     read_journal,
 )
 from repro.obs.profiling import NULL_PROBE, Probe, ScopedTimer
@@ -57,6 +59,24 @@ class Observability:
     last_wall_seconds: float = 0.0
     last_filter_state: Optional[dict[str, Any]] = None
     runs: int = 0
+
+    @contextmanager
+    def scoped(self, **entries: Any) -> Iterator["Observability"]:
+        """Temporarily add ``context`` entries for the duration of a run.
+
+        The runner and sweep helpers tag each run with its grid coordinates
+        (``spec``, ``sweep``) through this scope, so the keys cannot leak
+        into later runs that reuse the same bundle — on exit the context is
+        restored to exactly its previous contents (in place, preserving the
+        dict's identity).
+        """
+        saved = dict(self.context)
+        self.context.update(entries)
+        try:
+            yield self
+        finally:
+            self.context.clear()
+            self.context.update(saved)
 
     def attach(self, engine: "CoreEngine", workload: Any) -> None:
         """Hook the instruments into a freshly built engine (pre-run)."""
@@ -103,6 +123,7 @@ __all__ = [
     "TIMELINE_FIELDS",
     "RunJournal",
     "read_journal",
+    "merge_shards",
     "build_run_record",
     "describe_config",
     "describe_workload",

@@ -124,13 +124,17 @@ class RunJournal:
             workload=workload, config=config, result=result,
             wall_seconds=wall_seconds, extra=extra,
         )
+        self.append_record(rec)
+        return rec
+
+    def append_record(self, record: dict[str, Any]) -> None:
+        """Append an already-built record (e.g. merged from a worker shard)."""
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = open(self.path, "a", encoding="utf-8")
-        self._fh.write(json.dumps(rec) + "\n")
+        self._fh.write(json.dumps(record) + "\n")
         self._fh.flush()
         self.records_written += 1
-        return rec
 
     def close(self) -> None:
         """Close the underlying file (safe to call repeatedly)."""
@@ -154,3 +158,21 @@ def read_journal(path: str | Path) -> list[dict[str, Any]]:
             if line:
                 out.append(json.loads(line))
     return out
+
+
+def merge_shards(journal: RunJournal, shard_dir: str | Path, *, pattern: str = "*.jsonl") -> int:
+    """Merge per-worker shard files into a parent journal.
+
+    ``RunJournal``'s shared file handle is not fork-safe, so parallel grid
+    execution gives each worker process its own shard file and the parent
+    folds them back in afterwards.  Shards are merged in sorted-filename
+    order (record order *within* a shard is preserved; order *across*
+    workers reflects scheduling, not grid order — every record carries its
+    own ``context`` coordinates).  Returns the number of records merged.
+    """
+    merged = 0
+    for shard in sorted(Path(shard_dir).glob(pattern)):
+        for rec in read_journal(shard):
+            journal.append_record(rec)
+            merged += 1
+    return merged

@@ -28,10 +28,16 @@ class TestShortTraces:
         with pytest.raises(ValueError, match="before the .* warm-up"):
             simulate(FiniteWorkload(100), config)
 
-    def test_trace_ending_mid_measurement_returns_partial(self):
+    def test_trace_ending_mid_measurement_raises(self):
         config = SimConfig(policy_factory=DiscardPgc, warmup_instructions=100, sim_instructions=10_000)
+        with pytest.raises(ValueError, match="truncating the measured region"):
+            simulate(FiniteWorkload(800), config)
+
+    def test_trace_covering_both_regions_records_requested(self):
+        config = SimConfig(policy_factory=DiscardPgc, warmup_instructions=100, sim_instructions=500)
         result = simulate(FiniteWorkload(800), config)
-        assert 0 < result.instructions < 10_000
+        assert result.requested_instructions == 500
+        assert result.instructions >= 500
 
 
 class TestConfigVariants:

@@ -1,0 +1,102 @@
+"""ResultCache: fingerprinting, round-trips, invalidation, corruption."""
+
+import json
+from dataclasses import replace
+
+from repro.experiments.cache import CACHE_SCHEMA, ResultCache, canonical_json, fingerprint
+from repro.experiments.parallel import cell_for, cell_fingerprint
+from repro.experiments.runner import RunSpec, run_one
+from repro.experiments.sweep import dram_latency_transform, stlb_size_transform
+from repro.params import DEFAULT_PARAMS
+from repro.workloads import by_name
+
+FAST = RunSpec(warmup_instructions=1_000, sim_instructions=3_000)
+
+
+class TestFingerprint:
+    def test_canonical_json_is_order_insensitive(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_stable_across_calls(self):
+        cell = cell_for(by_name("astar"), FAST)
+        assert cell_fingerprint(cell) == cell_fingerprint(cell)
+
+    def test_workload_changes_key(self):
+        assert cell_fingerprint(cell_for(by_name("astar"), FAST)) != \
+            cell_fingerprint(cell_for(by_name("hmmer"), FAST))
+
+    def test_any_spec_field_changes_key(self):
+        base = cell_fingerprint(cell_for(by_name("astar"), FAST))
+        for change in (
+            dict(policy="permit"),
+            dict(prefetcher="bop"),
+            dict(sim_instructions=4_000),
+            dict(warmup_instructions=2_000),
+            dict(large_page_fraction=0.5),
+            dict(l2_prefetcher="spp"),
+            dict(filter_at_native_boundary=True),
+        ):
+            assert cell_fingerprint(cell_for(by_name("astar"), replace(FAST, **change))) != base
+
+    def test_params_override_changes_key(self):
+        w = by_name("astar")
+        base = cell_fingerprint(cell_for(w, FAST))
+        resized = cell_for(w, FAST, params=stlb_size_transform(DEFAULT_PARAMS, 768))
+        relat = cell_for(w, FAST, params=dram_latency_transform(DEFAULT_PARAMS, 300))
+        assert len({base, cell_fingerprint(resized), cell_fingerprint(relat)}) == 3
+
+    def test_default_params_and_explicit_default_collide(self):
+        # same effective config -> same key: this is what shares baselines
+        w = by_name("astar")
+        implicit = cell_for(w, FAST)
+        explicit = cell_for(w, FAST, params=DEFAULT_PARAMS)
+        assert cell_fingerprint(implicit) == cell_fingerprint(explicit)
+
+    def test_epoch_override_changes_key(self):
+        w = by_name("hmmer")
+        assert cell_fingerprint(cell_for(w, FAST, epoch_instructions=512)) != \
+            cell_fingerprint(cell_for(w, FAST))
+
+
+class TestResultCache:
+    def test_miss_then_roundtrip_exact(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        assert cache.get(key) is None
+        result = run_one(by_name("astar"), FAST)
+        cache.put(key, result)
+        loaded = cache.get(key)
+        assert loaded == result  # dataclass equality: every field, floats exact
+        assert cache.stats == {"hits": 1, "misses": 1, "stores": 1}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = run_one(by_name("astar"), FAST)
+        key = "cd" + "0" * 62
+        cache.put(key, result)
+        cache._path(key).write_text("not json{")
+        assert cache.get(key) is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = run_one(by_name("astar"), FAST)
+        key = "ef" + "0" * 62
+        cache.put(key, result)
+        path = cache._path(key)
+        payload = json.loads(path.read_text())
+        payload["schema"] = CACHE_SCHEMA + 1
+        path.write_text(json.dumps(payload))
+        assert cache.get(key) is None
+
+    def test_unknown_result_field_is_a_miss(self, tmp_path):
+        # entries written by a future SimResult layout must not crash
+        cache = ResultCache(tmp_path)
+        result = run_one(by_name("astar"), FAST)
+        key = "01" + "0" * 62
+        cache.put(key, result)
+        path = cache._path(key)
+        payload = json.loads(path.read_text())
+        payload["result"]["field_from_the_future"] = 1
+        path.write_text(json.dumps(payload))
+        assert cache.get(key) is None

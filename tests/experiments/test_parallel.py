@@ -1,0 +1,208 @@
+"""Parallel/cached grid execution: serial equivalence, caching, journaling."""
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import Cell, cell_for, run_cells
+from repro.experiments.runner import RunSpec, run_many, run_policies
+from repro.experiments.sweep import sweep_epoch_length, sweep_parameter
+from repro.obs import Observability, RunJournal, read_journal
+from repro.workloads import by_name
+
+FAST = RunSpec(warmup_instructions=1_000, sim_instructions=3_000)
+GRID_WORKLOADS = ("astar", "hmmer", "mcf", "lbm")
+
+
+def _workloads(names=GRID_WORKLOADS):
+    return [by_name(name) for name in names]
+
+
+class TestCellBasics:
+    def test_cell_for_registry_workload_carries_name_only(self):
+        cell = cell_for(by_name("astar"), FAST)
+        assert cell.workload == "astar"
+        assert cell.workload_obj is None
+        assert cell.resolve_workload() is by_name("astar")
+
+    def test_cell_for_foreign_workload_carries_object(self):
+        class Custom:
+            name = "astar"  # shadows a registry name but is a different object
+
+            def generate(self):  # pragma: no cover - never run
+                return iter(())
+
+        custom = Custom()
+        cell = cell_for(custom, FAST)
+        assert cell.workload_obj is custom
+        assert cell.resolve_workload() is custom
+
+    def test_cells_are_picklable(self):
+        import pickle
+
+        cell = cell_for(by_name("astar"), FAST, policy="permit",
+                        context={"sweep": {"value": 1}})
+        clone = pickle.loads(pickle.dumps(cell))
+        assert clone == cell
+
+    def test_run_cells_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_cells([cell_for(by_name("astar"), FAST)], jobs=0)
+
+
+class TestSerialParallelEquivalence:
+    def test_policy_grid_identical_under_jobs4(self):
+        # the acceptance grid: 2 policies x 4 workloads
+        workloads = _workloads()
+        serial = run_policies(workloads, ["discard", "permit"], base_spec=FAST)
+        parallel = run_policies(workloads, ["discard", "permit"], base_spec=FAST, jobs=4)
+        assert parallel == serial  # SimResult dataclass equality, field-exact
+
+    def test_run_many_order_preserved(self):
+        workloads = _workloads()
+        serial = run_many(workloads, FAST)
+        parallel = run_many(workloads, FAST, jobs=3)
+        assert parallel == serial
+        assert [r.workload for r in parallel] == list(GRID_WORKLOADS)
+
+    def test_progress_fires_per_cell(self):
+        seen = []
+        run_many(_workloads(("astar", "hmmer")), FAST, jobs=2,
+                 progress=lambda name, result: seen.append(name))
+        assert sorted(seen) == ["astar", "hmmer"]
+
+    def test_sweep_parameter_identical_under_jobs(self):
+        from repro.experiments.sweep import dram_latency_transform
+
+        workloads = _workloads(("astar", "hmmer"))
+        serial = sweep_parameter(workloads, dram_latency_transform, (100, 300),
+                                 policies=("permit",), base_spec=FAST)
+        parallel = sweep_parameter(workloads, dram_latency_transform, (100, 300),
+                                   policies=("permit",), base_spec=FAST, jobs=2)
+        assert parallel == serial
+
+    def test_parallel_rejects_in_process_instruments(self):
+        from repro.obs import Probe
+
+        obs = Observability(probe=Probe())
+        with pytest.raises(ValueError, match="in-process"):
+            run_cells([cell_for(w, FAST) for w in _workloads()], jobs=2, obs=obs)
+
+
+class TestCacheBehaviour:
+    def test_second_run_is_all_hits_and_identical(self, tmp_path):
+        workloads = _workloads(("astar", "hmmer"))
+        cache = ResultCache(tmp_path)
+        first = run_policies(workloads, ["discard", "permit"], base_spec=FAST, cache=cache)
+        assert cache.stats == {"hits": 0, "misses": 4, "stores": 4}
+        second = run_policies(workloads, ["discard", "permit"], base_spec=FAST, cache=cache)
+        assert second == first
+        assert cache.stats == {"hits": 4, "misses": 4, "stores": 4}
+
+    def test_config_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_many(_workloads(("astar",)), FAST, cache=cache)
+        assert cache.stats["stores"] == 1
+        from dataclasses import replace
+
+        run_many(_workloads(("astar",)), replace(FAST, sim_instructions=4_000), cache=cache)
+        assert cache.stats["stores"] == 2  # different fingerprint -> re-simulated
+
+    def test_cache_shared_across_parallel_and_serial(self, tmp_path):
+        workloads = _workloads(("astar", "hmmer"))
+        cache = ResultCache(tmp_path)
+        parallel = run_many(workloads, FAST, jobs=2, cache=cache)
+        serial = run_many(workloads, FAST, cache=ResultCache(tmp_path))
+        assert serial == parallel
+
+
+class TestSharedBaseline:
+    def test_epoch_sweep_simulates_discard_once(self, tmp_path):
+        # the discard baseline is epoch-independent: one cell in the batch
+        journal = tmp_path / "runs.jsonl"
+        obs = Observability(journal=RunJournal(journal))
+        cache = ResultCache(tmp_path / "cache")
+        sweep_epoch_length(_workloads(("hmmer",)), (512, 1024, 4096),
+                           base_spec=FAST, obs=obs, cache=cache)
+        obs.close()
+        records = read_journal(journal)
+        discard = [r for r in records if r["context"]["sweep"]["policy"] == "discard"]
+        assert len(discard) == 1
+        assert len(records) == 4  # 1 baseline + 3 epoch points
+        assert cache.stats["stores"] == 4
+
+    def test_value_invariant_sweep_simulates_discard_once(self, tmp_path):
+        # a transform that leaves the baseline's config unchanged across >= 3
+        # values collapses every policy to one simulation per workload
+        journal = tmp_path / "runs.jsonl"
+        obs = Observability(journal=RunJournal(journal))
+        cache = ResultCache(tmp_path / "cache")
+        data = sweep_parameter(
+            _workloads(("hmmer",)), lambda params, value: params, (1, 2, 3),
+            policies=("permit",), base_spec=FAST, obs=obs, cache=cache,
+        )
+        obs.close()
+        records = read_journal(journal)
+        discard = [r for r in records if r["context"]["sweep"]["policy"] == "discard"]
+        assert len(discard) == 1
+        assert cache.stats["stores"] == 2  # discard once + permit once
+        assert set(data) == {1, 2, 3}
+
+    def test_repeated_sweep_is_free(self, tmp_path):
+        from repro.experiments.sweep import dram_latency_transform
+
+        cache = ResultCache(tmp_path)
+        first = sweep_parameter(_workloads(("hmmer",)), dram_latency_transform,
+                                (120, 240, 360), policies=("permit",),
+                                base_spec=FAST, cache=cache)
+        stores_after_first = cache.stats["stores"]
+        again = sweep_parameter(_workloads(("hmmer",)), dram_latency_transform,
+                                (120, 240, 360), policies=("permit",),
+                                base_spec=FAST, cache=cache)
+        assert again == first
+        assert cache.stats["stores"] == stores_after_first  # nothing re-simulated
+
+
+class TestMergedJournal:
+    def test_jobs2_journal_is_complete(self, tmp_path):
+        journal = tmp_path / "runs.jsonl"
+        obs = Observability(journal=RunJournal(journal))
+        workloads = _workloads(("astar", "hmmer"))
+        run_policies(workloads, ["discard", "permit"], base_spec=FAST, jobs=2, obs=obs)
+        obs.close()
+        records = read_journal(journal)
+        assert len(records) == 4
+        assert obs.runs == 4
+        coords = {(r["workload"]["name"], r["context"]["spec"]["policy"]) for r in records}
+        assert coords == {(w, p) for w in ("astar", "hmmer") for p in ("discard", "permit")}
+        # full config + params survived the shard round-trip
+        assert all("stlb" in r["config"]["params"] for r in records)
+
+    def test_scoped_context_does_not_leak(self, tmp_path):
+        # regression: a sweep used to leave context['sweep'] on the bundle,
+        # mislabelling every later run's journal record
+        journal = tmp_path / "runs.jsonl"
+        obs = Observability(journal=RunJournal(journal))
+        sweep_epoch_length(_workloads(("hmmer",)), (512,), base_spec=FAST, obs=obs)
+        assert obs.context == {}
+        from repro.experiments.runner import run_one
+
+        run_one(by_name("astar"), FAST, obs=obs)
+        assert obs.context == {}
+        obs.close()
+        last = read_journal(journal)[-1]
+        assert last["workload"]["name"] == "astar"
+        assert "sweep" not in last["context"]
+
+
+class TestRunPoliciesPrefetcherFix:
+    def test_base_spec_prefetcher_preserved(self):
+        # regression: the default prefetcher kwarg used to clobber base_spec
+        spec = RunSpec(prefetcher="bop", warmup_instructions=1_000, sim_instructions=2_000)
+        out = run_policies(_workloads(("astar",)), ["discard"], base_spec=spec)
+        assert out["discard"][0].prefetcher == "bop"
+
+    def test_explicit_prefetcher_still_overrides(self):
+        spec = RunSpec(prefetcher="bop", warmup_instructions=1_000, sim_instructions=2_000)
+        out = run_policies(_workloads(("astar",)), ["discard"], prefetcher="berti",
+                           base_spec=spec)
+        assert out["discard"][0].prefetcher == "berti"

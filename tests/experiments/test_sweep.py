@@ -36,6 +36,19 @@ class TestTransforms:
         stlb_size_transform(DEFAULT_PARAMS, 768)
         assert DEFAULT_PARAMS.stlb.entries == 1536
 
+    def test_stlb_size_must_divide_ways(self):
+        # 100 entries over 12 ways would make a fractional-set TLB
+        with pytest.raises(ValueError, match="multiple of its 12 ways"):
+            stlb_size_transform(DEFAULT_PARAMS, 100)
+
+    def test_dtlb_size_must_divide_ways(self):
+        with pytest.raises(ValueError, match="multiple of its 4 ways"):
+            dtlb_size_transform(DEFAULT_PARAMS, 130)
+
+    def test_tlb_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            stlb_size_transform(DEFAULT_PARAMS, 0)
+
 
 @pytest.mark.slow
 class TestSweeps:

@@ -111,6 +111,32 @@ class TestRunnerIntegration:
         assert all(r["context"]["sweep"]["value"] == 768 for r in records)
 
 
+class TestShardMerge:
+    def test_append_record_and_merge(self, tmp_path):
+        from repro.obs import merge_shards
+
+        shard_dir = tmp_path / "shards"
+        shard_dir.mkdir()
+        for shard, names in (("shard-b.jsonl", ["w2", "w3"]), ("shard-a.jsonl", ["w1"])):
+            with RunJournal(shard_dir / shard) as j:
+                for name in names:
+                    j.append_record({"schema": 1, "workload": {"name": name}})
+        parent = RunJournal(tmp_path / "runs.jsonl")
+        merged = merge_shards(parent, shard_dir)
+        parent.close()
+        assert merged == 3
+        assert parent.records_written == 3
+        names = [r["workload"]["name"] for r in read_journal(tmp_path / "runs.jsonl")]
+        assert names == ["w1", "w2", "w3"]  # sorted shard order, in-shard order kept
+
+    def test_merge_ignores_non_matching_files(self, tmp_path):
+        from repro.obs import merge_shards
+
+        (tmp_path / "notes.txt").write_text("not a shard")
+        parent = RunJournal(tmp_path / "runs.jsonl")
+        assert merge_shards(parent, tmp_path) == 0
+
+
 class TestObservabilityBundle:
     def test_captures_filter_state_and_wall(self):
         obs = Observability()

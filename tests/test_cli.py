@@ -134,6 +134,59 @@ class TestObservabilityFlags:
         assert any(line.startswith("1,hmmer") for line in lines[1:])
 
 
+class TestParallelAndCacheFlags:
+    _FAST = ["--warmup", "1000", "--sim", "3000"]
+
+    def test_compare_jobs_and_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = ["compare", "--workload", "hmmer", "--policies", "discard", "permit",
+                *self._FAST, "--jobs", "2", "--cache-dir", str(cache_dir), "--json"]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        first = json.loads(captured.out)
+        assert "2 store(s)" in captured.err
+        # second invocation: a fresh process-equivalent run, all cache hits
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        second = json.loads(captured.out)
+        assert "2 hit(s)" in captured.err and "0 store(s)" in captured.err
+        assert second == first
+
+    def test_compare_cached_journals_simulated_runs_only(self, tmp_path):
+        cache_dir, journal = tmp_path / "cache", tmp_path / "runs.jsonl"
+        argv = ["compare", "--workload", "hmmer", "--policies", "discard", "permit",
+                *self._FAST, "--cache-dir", str(cache_dir), "--journal", str(journal)]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        records = [json.loads(line) for line in journal.read_text().splitlines()]
+        assert len(records) == 2  # second invocation was served from the cache
+
+    def test_sweep_table(self, capsys):
+        code = main(["sweep", "--param", "dram-latency", "--values", "120", "360",
+                     "--workloads", "hmmer", "--policies", "permit", *self._FAST])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep dram-latency" in out
+        assert "120" in out and "360" in out
+
+    def test_sweep_epoch_json(self, capsys):
+        code = main(["sweep", "--param", "epoch", "--values", "512", "2048",
+                     "--workloads", "hmmer", *self._FAST, "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["points"]) == {"512", "2048"}
+        assert all("dripper" in point for point in payload["points"].values())
+
+    def test_sweep_rejects_invalid_tlb_size(self):
+        with pytest.raises(ValueError, match="multiple of its 12 ways"):
+            main(["sweep", "--param", "stlb", "--values", "100",
+                  "--workloads", "hmmer", *self._FAST])
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--workload", "astar", "--jobs", "0"])
+
+
 class TestInspect:
     def test_inspect_dripper(self, capsys):
         code = main(["inspect", "--workload", "astar",
