@@ -11,6 +11,14 @@ Subcommands::
     python -m repro storage
     python -m repro snapshot  --workload astar --out astar.rptr --instructions 100000
     python -m repro convert   --champsim trace.bin --out trace.rptr
+    python -m repro validate  --workloads astar hmmer --jobs 2
+
+``run``, ``compare``, ``sweep``, and ``inspect`` accept ``--validate``, which
+attaches a runtime invariant checker to every simulation (conservation laws
+asserted per epoch and at collect time; a violation aborts the command with a
+counter snapshot).  ``validate`` runs the differential suite — determinism,
+parallel-vs-serial, discard-vs-source-suppression, epoch invariance, per-run
+invariant passes, and mutation detection.
 
 ``run``, ``compare``, ``sweep``, and ``inspect`` accept observability flags:
 ``--timeline-out`` (per-epoch CSV/JSONL time series), ``--journal``
@@ -64,6 +72,7 @@ def _spec(args: argparse.Namespace, policy: str) -> RunSpec:
         warmup_instructions=args.warmup,
         sim_instructions=args.sim,
         large_page_fraction=args.large_pages,
+        validate=getattr(args, "validate", False),
     )
 
 
@@ -225,6 +234,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         prefetcher=args.prefetcher,
         warmup_instructions=args.warmup,
         sim_instructions=args.sim,
+        validate=args.validate,
     )
     obs = _make_obs(args)
     cache = _make_cache(args)
@@ -334,6 +344,43 @@ def cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_validate(args: argparse.Namespace) -> int:
+    """`repro validate`: run the differential/metamorphic validation suite."""
+    from repro.validate import run_validation_suite
+
+    progress = None
+    if not args.json:
+        def progress(outcome) -> None:
+            mark = "PASS" if outcome.passed else "FAIL"
+            print(f"  {mark}  {outcome.name}: {outcome.detail}", file=sys.stderr)
+
+    outcomes = run_validation_suite(
+        args.workloads,
+        policies=tuple(args.policies),
+        prefetcher=args.prefetcher,
+        warmup=args.warmup,
+        sim=args.sim,
+        seed=args.seed,
+        fuzz_cells=args.fuzz,
+        jobs=args.jobs,
+        progress=progress,
+    )
+    failed = [o for o in outcomes if not o.passed]
+    if args.json:
+        print(json.dumps({
+            "checks": [asdict(o) for o in outcomes],
+            "passed": len(outcomes) - len(failed),
+            "failed": len(failed),
+        }, indent=2))
+    else:
+        rows = [("PASS" if o.passed else "FAIL", o.name, o.detail) for o in outcomes]
+        print(format_table(
+            ["verdict", "check", "detail"], rows,
+            f"validation suite: {len(outcomes) - len(failed)}/{len(outcomes)} passed",
+        ))
+    return 1 if failed else 0
+
+
 def cmd_storage(args: argparse.Namespace) -> int:
     """`repro storage`: DRIPPER's Table III accounting."""
     bits = storage_breakdown_bits()
@@ -366,6 +413,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--sim", type=int, default=60_000)
         p.add_argument("--large-pages", type=float, default=0.0,
                        help="fraction of 2MB-backed regions (0..1)")
+        p.add_argument("--validate", action="store_true",
+                       help="attach the runtime invariant checker to every run "
+                            "(abort with a counter snapshot on violation)")
 
     def add_parallel_args(p: argparse.ArgumentParser) -> None:
         g = p.add_argument_group("execution")
@@ -416,6 +466,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("berti", "berti-timely", "ipcp", "bop", "stride", "next-line", "none"))
     swp_p.add_argument("--warmup", type=int, default=20_000)
     swp_p.add_argument("--sim", type=int, default=60_000)
+    swp_p.add_argument("--validate", action="store_true",
+                       help="attach the runtime invariant checker to every run")
     add_parallel_args(swp_p)
     add_obs_args(swp_p)
     swp_p.set_defaults(func=cmd_sweep)
@@ -439,6 +491,32 @@ def build_parser() -> argparse.ArgumentParser:
     snap_p.add_argument("--out", required=True)
     snap_p.add_argument("--instructions", type=int, default=100_000)
     snap_p.set_defaults(func=cmd_snapshot)
+
+    val_p = sub.add_parser(
+        "validate",
+        help="run the differential/metamorphic validation suite",
+        description="Differential validation: determinism, parallel-vs-serial, "
+                    "discard-vs-source-suppression, epoch invariance, a full "
+                    "invariant pass per (workload x policy), and mutation "
+                    "detection.  Exits 1 if any check fails.",
+    )
+    val_p.add_argument("--workloads", nargs="+", default=["astar", "hmmer"],
+                       metavar="NAME", help="registry workload names")
+    val_p.add_argument("--policies", nargs="+", default=["discard", "permit", "dripper"],
+                       choices=_POLICIES, help="policies the invariant pass covers")
+    val_p.add_argument("--prefetcher", default="berti",
+                       choices=("berti", "berti-timely", "ipcp", "bop", "stride", "next-line", "none"))
+    val_p.add_argument("--warmup", type=int, default=2_000)
+    val_p.add_argument("--sim", type=int, default=6_000)
+    val_p.add_argument("--seed", type=int, default=0,
+                       help="seed for the randomized parallel-vs-serial fuzz")
+    val_p.add_argument("--fuzz", type=_positive_int, default=4, metavar="N",
+                       help="number of randomized cells in the parallel fuzz")
+    val_p.add_argument("--jobs", type=_positive_int, default=2, metavar="N",
+                       help="worker processes for the parallel leg of the fuzz")
+    val_p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON on stdout")
+    val_p.set_defaults(func=cmd_validate)
 
     conv_p = sub.add_parser("convert", help="convert a ChampSim trace to the native format")
     conv_p.add_argument("--champsim", required=True)

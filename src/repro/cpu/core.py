@@ -245,7 +245,7 @@ class CoreEngine:
                 self.pgc.same_translation += 1
             filter_this = not (same_translation and getattr(self.policy, "filter_at_native_boundary", False))
             if filter_this:
-                self.system_state.l1d_inflight_misses = self.hierarchy.l1d.in_flight_misses
+                self.system_state.l1d_inflight_misses = self.hierarchy.l1d.in_flight_misses(t)
                 decision = self._policy_decide(req, self.fctx, self.system_state)
                 if not decision.issue:
                     self.pgc.discarded += 1

@@ -47,6 +47,10 @@ class SimConfig:
     epoch_instructions: int = 2048
     prefetcher_extra_storage: int = 0
     asid: int = 0
+    #: attach a runtime :class:`~repro.validate.InvariantChecker` to the run
+    #: (conservation laws checked per epoch and at collect time); purely
+    #: observational — a validated run produces the same SimResult
+    validate: bool = False
 
 
 @dataclass
@@ -99,6 +103,9 @@ class SimResult:
     #: actually retired (finite traces can end early — `simulate` raises on
     #: truncation, but journaled/cached records keep both for auditing)
     requested_instructions: int = 0
+    #: prefetch-installed TLB entries evicted without serving a demand access
+    #: (measured region, dTLB + sTLB)
+    tlb_prefetch_evicted_unused: int = 0
 
     @property
     def branch_mpki(self) -> float:
@@ -223,7 +230,13 @@ def collect_result(engine: CoreEngine, workload_name: str, config: SimConfig) ->
         pgc_useless=pf["pgc_useless"],
         demand_walks=engine.walker.measured_demand_walks,
         speculative_walks=engine.walker.measured_speculative_walks,
-        tlb_prefetch_hits=engine.stlb.prefetch_hits + engine.dtlb.prefetch_hits,
+        tlb_prefetch_hits=(
+            engine.stlb.measured_prefetch_hits + engine.dtlb.measured_prefetch_hits
+        ),
+        tlb_prefetch_evicted_unused=(
+            engine.stlb.measured_prefetch_evicted_unused
+            + engine.dtlb.measured_prefetch_evicted_unused
+        ),
         dram_reads=h.dram.measured_reads,
         dram_writes=h.dram.measured_writes,
         branches=engine.branch_predictor.measured_predictions,
@@ -233,18 +246,15 @@ def collect_result(engine: CoreEngine, workload_name: str, config: SimConfig) ->
     )
 
 
-def simulate(
-    workload: Workload, config: SimConfig, *, obs: Optional["Observability"] = None
-) -> SimResult:
-    """Run one workload under one configuration (warm-up + measured region).
+def drive(engine: CoreEngine, workload: Workload, config: SimConfig) -> float:
+    """Feed the workload through a built engine (warm-up + measured region).
 
-    Pass an :class:`~repro.obs.Observability` bundle to record an epoch
-    timeline, journal the run, and/or profile the hot paths; with ``obs``
-    omitted the run executes the exact unobserved fast path.
+    Returns the wall-clock seconds spent; raises :class:`ValueError` when the
+    trace ends before warm-up completes or truncates the measured region.
+    Split out of :func:`simulate` so harnesses (e.g. the differential suite
+    in :mod:`repro.validate`) can run custom-wired engines through exactly
+    the production drive loop.
     """
-    engine = build_engine(config)
-    if obs is not None:
-        obs.attach(engine, workload)
     warm_limit = config.warmup_instructions
     total_limit = warm_limit + config.sim_instructions
     step = engine.step
@@ -270,7 +280,35 @@ def simulate(
             f"{engine.measured_instructions} of the requested "
             f"{config.sim_instructions} instructions"
         )
+    return wall_seconds
+
+
+def simulate(
+    workload: Workload, config: SimConfig, *, obs: Optional["Observability"] = None
+) -> SimResult:
+    """Run one workload under one configuration (warm-up + measured region).
+
+    Pass an :class:`~repro.obs.Observability` bundle to record an epoch
+    timeline, journal the run, and/or profile the hot paths; with ``obs``
+    omitted the run executes the exact unobserved fast path.  With
+    ``config.validate`` set, a :class:`~repro.validate.InvariantChecker` is
+    attached: conservation laws are asserted per epoch and at collect time,
+    and a violation raises :class:`~repro.validate.InvariantViolation`
+    (journaled first when the bundle carries a journal).
+    """
+    engine = build_engine(config)
+    if obs is not None:
+        obs.attach(engine, workload)
+    checker = None
+    if config.validate:
+        from repro.validate import InvariantChecker
+
+        checker = InvariantChecker(obs=obs, workload=workload.name)
+        checker.attach(engine)
+    wall_seconds = drive(engine, workload, config)
     result = collect_result(engine, workload.name, config)
+    if checker is not None:
+        checker.check_final(engine, result)
     if obs is not None:
         obs.finish(engine, workload, config, result, wall_seconds)
     return result

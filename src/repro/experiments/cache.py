@@ -27,7 +27,9 @@ from typing import Any, Optional
 from repro.cpu.simulator import SimResult
 
 #: bump when the entry layout or the fingerprint payload changes incompatibly
-CACHE_SCHEMA = 1
+#: (2: merged-latency-floor timing fix, pruned/deduped in-flight-miss feature,
+#: measured TLB prefetch counters, SimResult.tlb_prefetch_evicted_unused)
+CACHE_SCHEMA = 2
 
 
 def canonical_json(payload: Any) -> str:

@@ -122,6 +122,10 @@ def cell_fingerprint(cell: Cell, workload: Optional[Any] = None) -> str:
     if workload is None:
         workload = cell.resolve_workload()
     config = build_config(cell, workload)
+    spec_dump = asdict(cell.spec)
+    # validation is observational — a validated run returns the identical
+    # result, so validated and unvalidated cells share cache entries
+    spec_dump.pop("validate", None)
     identity = describe_workload(workload)
     for knob in ("store_fraction", "code_lines", "mispredict_rate",
                  "branch_profile", "pcs_per_pattern", "path"):
@@ -131,7 +135,7 @@ def cell_fingerprint(cell: Cell, workload: Optional[Any] = None) -> str:
     return fingerprint({
         "schema": CACHE_SCHEMA,
         "workload": identity,
-        "spec": asdict(cell.spec),
+        "spec": spec_dump,
         "policy": cell.policy,
         "config": describe_config(config, policy_name=cell.policy or cell.spec.policy),
     })

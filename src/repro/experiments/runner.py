@@ -58,6 +58,10 @@ class RunSpec:
     sim_instructions: int = 60_000
     large_page_fraction: float = 0.0
     filter_at_native_boundary: bool = False
+    #: attach a runtime InvariantChecker to each run (purely observational:
+    #: a validated run produces the same SimResult, so the result cache
+    #: deliberately ignores this knob — see `cell_fingerprint`)
+    validate: bool = False
 
     def config_for(self, workload: SyntheticWorkload) -> SimConfig:
         """Materialise a SimConfig (QMM workloads run half-length traces)."""
@@ -81,6 +85,7 @@ class RunSpec:
             sim_instructions=sim,
             large_page_fraction=self.large_page_fraction,
             prefetcher_extra_storage=ISO_STORAGE_BYTES if self.policy.lower().startswith("iso") else 0,
+            validate=self.validate,
         )
 
 

@@ -64,7 +64,9 @@ class Cache:
         self._ways = params.ways
         self._sets: list[dict[int, Block]] = [dict() for _ in range(params.sets)]
         self._policy = make_replacement_policy(params.replacement)
-        #: line -> fill-ready time for outstanding misses (MSHR merge)
+        #: line -> fill-ready time for outstanding misses; the dict is keyed
+        #: by line, so re-registered lines replace their stale entry instead
+        #: of being double counted
         self._outstanding: dict[int, float] = {}
         #: min-heap of (ready, line); caps concurrent misses at mshr_entries
         self._mshr_heap: list[tuple[float, int]] = []
@@ -177,10 +179,17 @@ class Cache:
         self._outstanding[line] = ready
         heapq.heappush(self._mshr_heap, (ready, line))
 
-    @property
-    def in_flight_misses(self) -> int:
-        """Currently outstanding misses (MSHR occupancy, pruned lazily)."""
-        return len(self._mshr_heap)
+    def in_flight_misses(self, t: float) -> int:
+        """Distinct lines with an incomplete miss in flight at time `t`.
+
+        The pre-fix implementation reported the raw MSHR-heap length, which
+        kept counting fills that had already completed (the heap is pruned
+        lazily) and double counted re-registered lines — so the
+        ``l1d_inflight_misses`` policy feature could drift far above the real
+        miss-level parallelism.  Counting incomplete entries of the
+        line-keyed map gives the pruned, deduplicated truth.
+        """
+        return sum(1 for ready in self._outstanding.values() if ready > t)
 
     # -- statistics -------------------------------------------------------
 
@@ -226,6 +235,23 @@ class Cache:
     def occupancy(self) -> int:
         """Number of resident blocks."""
         return sum(len(cset) for cset in self._sets)
+
+    def resident_prefetch_counts(self) -> tuple[int, int]:
+        """(prefetched, pcb) resident blocks whose usefulness is unresolved.
+
+        A prefetched block with no demand hit yet will eventually be counted
+        exactly once as useful or useless; blocks already hit were counted
+        useful when it happened.  The warm-up boundary uses this to bound the
+        measured-region useful+useless carry-over.
+        """
+        prefetched = pcb = 0
+        for cset in self._sets:
+            for block in cset.values():
+                if block.prefetched and block.hits == 0:
+                    prefetched += 1
+                    if block.pcb:
+                        pcb += 1
+        return prefetched, pcb
 
 
 def byte_to_line(addr: int) -> int:

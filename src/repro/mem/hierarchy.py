@@ -78,7 +78,8 @@ class MemoryHierarchy:
             return max(lat, block.ready - t)
         merged = self.llc.outstanding_ready(line, t)
         if merged is not None:
-            return merged - t
+            # merging into an almost-complete fill still costs a tag lookup
+            return max(float(lat), merged - t)
         stall = self.llc.mshr_delay(t)
         issue = t + lat + stall
         dram_lat = self.dram.read(line, issue)
@@ -95,7 +96,7 @@ class MemoryHierarchy:
             return max(lat, block.ready - t)
         merged = self.l2c.outstanding_ready(line, t)
         if merged is not None:
-            return merged - t
+            return max(float(lat), merged - t)
         stall = self.l2c.mshr_delay(t)
         issue = t + lat + stall
         lower = self._read_llc(line, issue, demand)
@@ -119,7 +120,7 @@ class MemoryHierarchy:
             return float(lat), True
         merged = self.l1d.outstanding_ready(line, t)
         if merged is not None:
-            return merged - t, False
+            return max(float(lat), merged - t), False
         stall = self.l1d.mshr_delay(t)
         issue = t + lat + stall
         lower = self._read_l2(line, issue, demand=True)
@@ -158,7 +159,7 @@ class MemoryHierarchy:
             return max(float(lat), block.ready - t)
         merged = self.l1i.outstanding_ready(line, t)
         if merged is not None:
-            return merged - t
+            return max(float(lat), merged - t)
         stall = self.l1i.mshr_delay(t)
         issue = t + lat + stall
         lower = self._read_l2(line, issue, demand=True)
@@ -172,7 +173,8 @@ class MemoryHierarchy:
         line = paddr >> LINE_SHIFT
         if self.l1i.probe(line) is not None or self.l1i.outstanding_ready(line, t) is not None:
             return
-        issue = t + self.l1i.latency + self.l1i.mshr_delay(t)
+        stall = self.l1i.mshr_delay(t)
+        issue = t + self.l1i.latency + stall
         lower = self._read_l2(line, issue, demand=False)
         ready = issue + lower
         self.l1i.register_miss(line, t, ready)

@@ -1,0 +1,32 @@
+"""Runtime invariant checking and differential validation.
+
+Two complementary layers guard the simulator's headline counters:
+
+* :class:`InvariantChecker` (:mod:`repro.validate.invariants`) attaches to a
+  live :class:`~repro.cpu.core.CoreEngine` and asserts conservation laws per
+  epoch and at result-collection time — enabled per run via
+  ``SimConfig(validate=True)`` or the CLI's ``--validate`` flag;
+* :func:`run_validation_suite` (:mod:`repro.validate.differential`) runs
+  metamorphic checks over the production code paths — determinism,
+  parallel == serial, discard == source suppression, epoch invariance, a
+  clean invariant pass per (workload × policy), and mutation detection via
+  :func:`reintroduce_stale_mshr_bug` — exposed as the ``repro validate``
+  subcommand.
+"""
+
+from repro.validate.differential import (
+    CheckOutcome,
+    result_diff,
+    run_validation_suite,
+)
+from repro.validate.invariants import InvariantChecker, InvariantViolation
+from repro.validate.mutation import reintroduce_stale_mshr_bug
+
+__all__ = [
+    "CheckOutcome",
+    "InvariantChecker",
+    "InvariantViolation",
+    "reintroduce_stale_mshr_bug",
+    "result_diff",
+    "run_validation_suite",
+]

@@ -1,0 +1,317 @@
+"""Differential and metamorphic validation of the simulator.
+
+Each check runs the *production* code paths twice under a transformation
+that must not change the answer, then diffs the :class:`SimResult`\\ s
+field by field:
+
+* **determinism** — the same (workload, config) simulated twice is
+  bit-identical (trace generation, large-page allocation and replacement
+  are all seeded);
+* **parallel-vs-serial** — a randomized batch of grid cells executed with
+  ``jobs=N`` equals the same batch executed serially (``jobs=1``);
+* **discard-source equivalence** — running ``DiscardPgc`` equals running a
+  prefetcher wrapper that suppresses page-cross candidates at the source
+  (the policy layer must be side-effect-free when it discards); only the
+  candidate bookkeeping (``pgc_candidates``/``pgc_discarded``) may differ;
+* **epoch invariance** — for epoch-independent policies (discard, permit),
+  changing ``epoch_instructions`` must not change any counter: epoch ends
+  are bookkeeping, not events;
+* **invariants-clean** — every (workload × policy) run passes a full
+  :class:`~repro.validate.InvariantChecker` pass with zero violations;
+* **mutation detection** — re-introducing the fixed stale-MSHR bug via
+  :func:`~repro.validate.reintroduce_stale_mshr_bug` makes a validated run
+  raise, proving the checker actually has teeth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields, replace
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.policies import PermitPgc
+from repro.cpu.simulator import SimConfig, SimResult, build_engine, collect_result, drive, simulate
+from repro.experiments.parallel import cell_for, run_cells
+from repro.experiments.runner import RunSpec
+from repro.params import DEFAULT_PARAMS
+from repro.prefetch import make_l1d_prefetcher
+from repro.prefetch.base import L1dPrefetcher
+from repro.validate.invariants import InvariantChecker, InvariantViolation
+from repro.validate.mutation import reintroduce_stale_mshr_bug
+from repro.vm.address import PAGE_4K_SHIFT, canonical
+from repro.workloads.registry import by_name
+
+#: prefetchers the parallel fuzz draws from (cheap, deterministic trainers)
+_FUZZ_PREFETCHERS = ("berti", "ipcp", "bop")
+#: epoch lengths the fuzz and the invariance check draw from
+_FUZZ_EPOCHS = (1024, 2048, 4096)
+
+
+@dataclass
+class CheckOutcome:
+    """One differential check's verdict."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+def result_diff(a: SimResult, b: SimResult, *, ignore: Sequence[str] = ()) -> dict[str, tuple[Any, Any]]:
+    """Field-by-field differences between two results (empty == identical)."""
+    diffs: dict[str, tuple[Any, Any]] = {}
+    for f in fields(SimResult):
+        if f.name in ignore:
+            continue
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if va != vb:
+            diffs[f.name] = (va, vb)
+    return diffs
+
+
+def _summarise(diffs: dict[str, tuple[Any, Any]], limit: int = 4) -> str:
+    parts = [f"{k}: {va!r} != {vb!r}" for k, (va, vb) in list(diffs.items())[:limit]]
+    if len(diffs) > limit:
+        parts.append(f"... {len(diffs) - limit} more")
+    return "; ".join(parts)
+
+
+class _SuppressCrossPage(L1dPrefetcher):
+    """Wrap a prefetcher, dropping page-cross candidates at the source.
+
+    Mirrors the engine's candidate test in ``_handle_prefetches`` exactly:
+    a request is page-cross iff its canonicalised target lands outside the
+    trigger's 4KB frame.  Running this under any policy must equal running
+    the bare prefetcher under ``DiscardPgc`` — modulo the candidate
+    bookkeeping that only the policy path performs.
+    """
+
+    def __init__(self, inner: L1dPrefetcher):
+        self.inner = inner
+        self.name = inner.name
+
+    @property
+    def extra_storage_bytes(self) -> int:
+        return self.inner.extra_storage_bytes
+
+    def on_access(self, pc: int, vaddr: int, hit: bool, t: float) -> list:
+        trigger_page = vaddr >> PAGE_4K_SHIFT
+        return [
+            req for req in self.inner.on_access(pc, vaddr, hit, t)
+            if (canonical(req.vaddr) >> PAGE_4K_SHIFT) == trigger_page
+        ]
+
+    def on_fill(self, vaddr: int, latency: float) -> None:
+        self.inner.on_fill(vaddr, latency)
+
+
+def _spec(prefetcher: str, policy: str, warmup: int, sim: int, **overrides: Any) -> RunSpec:
+    return RunSpec(
+        prefetcher=prefetcher,
+        policy=policy,
+        warmup_instructions=warmup,
+        sim_instructions=sim,
+        **overrides,
+    )
+
+
+# ---------------------------------------------------------------------------
+# individual checks
+
+
+def check_determinism(workload_name: str, *, prefetcher: str, policy: str,
+                      warmup: int, sim: int) -> CheckOutcome:
+    """Same seed, same config => bit-identical result."""
+    workload = by_name(workload_name)
+    spec = _spec(prefetcher, policy, warmup, sim)
+    first = simulate(workload, spec.config_for(workload))
+    second = simulate(workload, spec.config_for(workload))
+    diffs = result_diff(first, second)
+    name = f"determinism[{workload_name}/{policy}]"
+    if diffs:
+        return CheckOutcome(name, False, _summarise(diffs))
+    return CheckOutcome(name, True, f"{first.instructions} instructions, ipc {first.ipc:.3f}")
+
+
+def check_parallel_matches_serial(workload_names: Sequence[str], *,
+                                  policies: Sequence[str], warmup: int, sim: int,
+                                  seed: int, fuzz_cells: int, jobs: int) -> CheckOutcome:
+    """A randomized cell batch run with jobs=N equals the serial run."""
+    rng = random.Random(seed)
+    cells = []
+    for _ in range(fuzz_cells):
+        workload = by_name(rng.choice(list(workload_names)))
+        spec = _spec(
+            rng.choice(_FUZZ_PREFETCHERS),
+            rng.choice(list(policies)),
+            warmup,
+            sim,
+            large_page_fraction=rng.choice((0.0, 0.25)),
+        )
+        cells.append(cell_for(workload, spec,
+                              epoch_instructions=rng.choice(_FUZZ_EPOCHS)))
+    serial = run_cells(cells, jobs=1)
+    parallel = run_cells(cells, jobs=max(2, jobs))
+    name = f"parallel-vs-serial[{fuzz_cells} cells]"
+    for i, (a, b) in enumerate(zip(serial, parallel)):
+        diffs = result_diff(a, b)
+        if diffs:
+            cell = cells[i]
+            return CheckOutcome(
+                name, False,
+                f"cell {i} ({cell.workload}/{cell.spec.policy}/{cell.spec.prefetcher}): "
+                + _summarise(diffs),
+            )
+    return CheckOutcome(name, True, f"{len(cells)} randomized cells identical")
+
+
+def check_discard_source_equivalence(workload_name: str, *, prefetcher: str,
+                                     warmup: int, sim: int) -> CheckOutcome:
+    """DiscardPgc == suppressing page-cross candidates inside the prefetcher."""
+    workload = by_name(workload_name)
+    spec = _spec(prefetcher, "discard", warmup, sim)
+    config = spec.config_for(workload)
+    baseline = simulate(workload, config)
+
+    suppressed = _SuppressCrossPage(make_l1d_prefetcher(prefetcher))
+    engine = build_engine(config, prefetcher=suppressed)
+    drive(engine, workload, config)
+    source = collect_result(engine, workload.name, config)
+
+    # only the policy path sees candidates; suppressing at the source zeroes
+    # the candidate/discard bookkeeping but must change nothing else
+    diffs = result_diff(baseline, source, ignore=("pgc_candidates", "pgc_discarded"))
+    name = f"discard-source-equivalence[{workload_name}/{prefetcher}]"
+    if diffs:
+        return CheckOutcome(name, False, _summarise(diffs))
+    if source.pgc_candidates != 0 or source.pgc_issued != 0:
+        return CheckOutcome(
+            name, False,
+            f"suppressed run still saw candidates "
+            f"(candidates={source.pgc_candidates}, issued={source.pgc_issued})",
+        )
+    return CheckOutcome(
+        name, True,
+        f"{baseline.pgc_candidates} candidates suppressed without side effects",
+    )
+
+
+def check_epoch_invariance(workload_name: str, *, prefetcher: str,
+                           warmup: int, sim: int) -> CheckOutcome:
+    """Epoch length must not alter counters for epoch-independent policies."""
+    workload = by_name(workload_name)
+    for policy in ("discard", "permit"):
+        spec = _spec(prefetcher, policy, warmup, sim)
+        results = []
+        for epoch in _FUZZ_EPOCHS:
+            config = replace(spec.config_for(workload), epoch_instructions=epoch)
+            results.append(simulate(workload, config))
+        for other, epoch in zip(results[1:], _FUZZ_EPOCHS[1:]):
+            diffs = result_diff(results[0], other)
+            if diffs:
+                return CheckOutcome(
+                    f"epoch-invariance[{workload_name}/{policy}]", False,
+                    f"epoch {_FUZZ_EPOCHS[0]} vs {epoch}: " + _summarise(diffs),
+                )
+    return CheckOutcome(
+        f"epoch-invariance[{workload_name}]", True,
+        f"epochs {_FUZZ_EPOCHS} identical for discard and permit",
+    )
+
+
+def check_invariants_clean(workload_names: Sequence[str], *, policies: Sequence[str],
+                           prefetcher: str, warmup: int, sim: int) -> list[CheckOutcome]:
+    """Every (workload x policy) run passes a full invariant pass."""
+    outcomes = []
+    for workload_name in workload_names:
+        workload = by_name(workload_name)
+        for policy in policies:
+            spec = _spec(prefetcher, policy, warmup, sim)
+            config = replace(spec.config_for(workload), validate=True)
+            name = f"invariants[{workload_name}/{policy}]"
+            try:
+                result = simulate(workload, config)
+            except InvariantViolation as violation:
+                outcomes.append(CheckOutcome(name, False, str(violation)))
+            else:
+                outcomes.append(CheckOutcome(
+                    name, True, f"clean at ipc {result.ipc:.3f}"
+                ))
+    return outcomes
+
+
+def check_mutation_detected(workload_name: str, *, prefetcher: str,
+                            warmup: int, sim: int) -> CheckOutcome:
+    """The checker must catch the re-introduced stale-MSHR bug."""
+    workload = by_name(workload_name)
+    params = replace(DEFAULT_PARAMS, l1d=replace(DEFAULT_PARAMS.l1d, mshr_entries=2))
+    config = SimConfig(
+        prefetcher=prefetcher,
+        policy_factory=PermitPgc,
+        warmup_instructions=warmup,
+        sim_instructions=sim,
+        params=params,
+        validate=True,
+    )
+    name = f"mutation-detected[{workload_name}]"
+    try:
+        simulate(workload, config)
+    except InvariantViolation as violation:
+        return CheckOutcome(
+            name, False,
+            f"clean simulator tripped the checker before mutation: {violation}",
+        )
+    with reintroduce_stale_mshr_bug():
+        try:
+            simulate(workload, config)
+        except InvariantViolation as violation:
+            if violation.invariant != "mshr-accounting":
+                return CheckOutcome(
+                    name, False,
+                    f"mutation tripped the wrong invariant: {violation.invariant}",
+                )
+            return CheckOutcome(name, True, "stale-MSHR mutation caught: " + violation.message)
+    return CheckOutcome(name, False, "stale-MSHR mutation went undetected")
+
+
+# ---------------------------------------------------------------------------
+# suite driver
+
+
+def run_validation_suite(
+    workload_names: Sequence[str],
+    *,
+    policies: Sequence[str] = ("discard", "permit", "dripper"),
+    prefetcher: str = "berti",
+    warmup: int = 2_000,
+    sim: int = 6_000,
+    seed: int = 0,
+    fuzz_cells: int = 4,
+    jobs: int = 2,
+    progress: Optional[Callable[[CheckOutcome], None]] = None,
+) -> list[CheckOutcome]:
+    """Run the full differential suite; returns one outcome per check."""
+    if not workload_names:
+        raise ValueError("run_validation_suite needs at least one workload")
+    anchor = workload_names[0]
+    outcomes: list[CheckOutcome] = []
+
+    def record(outcome: CheckOutcome) -> None:
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+
+    record(check_determinism(anchor, prefetcher=prefetcher, policy=policies[0],
+                             warmup=warmup, sim=sim))
+    record(check_parallel_matches_serial(
+        workload_names, policies=policies, warmup=warmup, sim=sim,
+        seed=seed, fuzz_cells=fuzz_cells, jobs=jobs))
+    record(check_discard_source_equivalence(anchor, prefetcher=prefetcher,
+                                            warmup=warmup, sim=sim))
+    record(check_epoch_invariance(anchor, prefetcher=prefetcher,
+                                  warmup=warmup, sim=sim))
+    for outcome in check_invariants_clean(workload_names, policies=policies,
+                                          prefetcher=prefetcher, warmup=warmup, sim=sim):
+        record(outcome)
+    record(check_mutation_detected(anchor, prefetcher=prefetcher,
+                                   warmup=warmup, sim=sim))
+    return outcomes

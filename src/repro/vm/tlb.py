@@ -33,6 +33,7 @@ class Tlb:
         self.prefetch_hits = 0
         #: prefetched entries evicted without ever serving a demand access
         self.prefetch_evicted_unused = 0
+        self._snap_pf = (0, 0)
 
     def lookup(self, vaddr: int, *, speculative: bool = False) -> Optional[Translation]:
         """Probe for a translation.  Speculative probes don't perturb stats/LRU."""
@@ -78,5 +79,16 @@ class Tlb:
         return sum(len(tset) for tset in self._sets)
 
     def snapshot(self) -> None:
-        """Mark the warm-up boundary for the demand statistics."""
+        """Mark the warm-up boundary for demand and prefetch statistics."""
         self.stats.snapshot()
+        self._snap_pf = (self.prefetch_hits, self.prefetch_evicted_unused)
+
+    @property
+    def measured_prefetch_hits(self) -> int:
+        """Demand hits on prefetched entries since the warm-up snapshot."""
+        return self.prefetch_hits - self._snap_pf[0]
+
+    @property
+    def measured_prefetch_evicted_unused(self) -> int:
+        """Unused prefetched-entry evictions since the warm-up snapshot."""
+        return self.prefetch_evicted_unused - self._snap_pf[1]

@@ -96,9 +96,12 @@ class TestEngineIntegration:
         from repro.workloads.synthetic import SyntheticWorkload
 
         def workload(profile):
+            # cache-resident footprint: both traces hit the L1D after warm-up,
+            # so the IPC gap isolates the branch penalty instead of riding on
+            # incidental memory-timing differences between the two traces
             return SyntheticWorkload(
                 f"bw-{profile[0]}", "TEST", 3,
-                [(lambda: Stream(0, footprint_pages=64), 1 << 30)],
+                [(lambda: Stream(0, footprint_pages=8), 1 << 30)],
                 branch_profile=profile,
             )
 

@@ -109,7 +109,24 @@ class TestMshr:
         c = small_cache(mshr=8)
         for line in range(5):
             c.register_miss(line, 0.0, 100.0)
-        assert c.in_flight_misses == 5
+        assert c.in_flight_misses(50.0) == 5
+
+    def test_in_flight_excludes_completed_fills(self):
+        # the pre-fix implementation reported the raw heap length, which
+        # kept counting entries whose fill had already completed
+        c = small_cache(mshr=8)
+        c.register_miss(1, 0.0, 100.0)
+        c.register_miss(2, 0.0, 300.0)
+        assert c.in_flight_misses(200.0) == 1
+        assert c.in_flight_misses(300.0) == 0
+
+    def test_in_flight_dedupes_reregistered_lines(self):
+        c = small_cache(mshr=8)
+        c.register_miss(1, 0.0, 100.0)
+        assert c.outstanding_ready(1, 150.0) is None  # expires the first fetch
+        c.register_miss(1, 150.0, 400.0)
+        assert c.in_flight_misses(200.0) == 1
+
 
 
 class TestPcbEvents:

@@ -48,6 +48,41 @@ class TestLoadPath:
         assert lat2 <= lat1  # merged: waits only the residual
 
 
+class TestMergedLatencyFloor:
+    """Merging into an almost-complete fill still costs a tag lookup.
+
+    The pre-fix paths returned the bare residual `merged - t`, which
+    approached zero as the fill neared completion — cheaper than an L1 hit.
+    """
+
+    def test_load_merge_clamped_to_l1d_latency(self):
+        h = make_hierarchy()
+        ready, _ = h.load(0x1000, 0.0)
+        h.l1d.invalidate(0x1000 >> 6)
+        latency, hit = h.load(0x1000, ready - 1.0)  # residual of 1 cycle
+        assert not hit
+        assert latency == DEFAULT_PARAMS.l1d.latency
+
+    def test_ifetch_merge_clamped_to_l1i_latency(self):
+        h = make_hierarchy()
+        ready = h.ifetch(0x400000, 0.0)
+        h.l1i.invalidate(0x400000 >> 6)
+        assert h.ifetch(0x400000, ready - 1.0) == DEFAULT_PARAMS.l1i.latency
+
+    def test_l2_merge_clamped_to_l2_latency(self):
+        h = make_hierarchy()
+        ready = h.ptw_read(0x5000, 0.0, speculative=False)
+        h.l2c.invalidate(0x5000 >> 6)
+        assert h.ptw_read(0x5000, ready - 1.0, speculative=False) == DEFAULT_PARAMS.l2c.latency
+
+    def test_llc_merge_clamped_to_llc_latency(self):
+        h = make_hierarchy()
+        line = 0x7000 >> 6
+        ready = h._read_llc(line, 0.0, demand=True)
+        h.llc.invalidate(line)
+        assert h._read_llc(line, ready - 1.0, demand=True) == DEFAULT_PARAMS.llc.latency
+
+
 class TestPrefetchPath:
     def test_prefetch_fill_sets_pcb(self):
         h = make_hierarchy()

@@ -50,4 +50,10 @@ class TestMshrPressureVisibility:
         h = make()
         for i in range(6):
             h.load(0x100000 * (i + 1), 0.0)
-        assert h.l1d.in_flight_misses >= 6
+        assert h.l1d.in_flight_misses(0.0) == 6
+
+    def test_in_flight_count_drops_after_fills_complete(self):
+        h = make()
+        for i in range(6):
+            h.load(0x100000 * (i + 1), 0.0)
+        assert h.l1d.in_flight_misses(1e9) == 0

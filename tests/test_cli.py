@@ -235,3 +235,40 @@ class TestPrefetcherChoices:
         for name in ("berti", "berti-timely", "ipcp", "bop", "stride", "next-line", "none"):
             args = build_parser().parse_args(["run", "--workload", "astar", "--prefetcher", name])
             assert args.prefetcher == name
+
+
+class TestValidate:
+    def test_validate_flag_off_by_default(self):
+        args = build_parser().parse_args(["run", "--workload", "astar"])
+        assert args.validate is False
+
+    def test_run_with_validate(self, capsys):
+        code = main([
+            "run", "--workload", "hmmer", "--policy", "permit",
+            "--warmup", "500", "--sim", "1500", "--validate",
+        ])
+        assert code == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_validate_subcommand_table(self, capsys):
+        code = main([
+            "validate", "--workloads", "hmmer", "--policies", "discard",
+            "--warmup", "500", "--sim", "1500", "--fuzz", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "validation suite" in out
+        assert "FAIL" not in out
+
+    def test_validate_subcommand_json(self, capsys):
+        code = main([
+            "validate", "--workloads", "hmmer", "--policies", "discard", "permit",
+            "--warmup", "500", "--sim", "1500", "--fuzz", "2", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] == 0
+        assert payload["passed"] == len(payload["checks"])
+        names = {check["name"] for check in payload["checks"]}
+        assert any(name.startswith("determinism") for name in names)
+        assert any(name.startswith("mutation-detected") for name in names)

@@ -14,6 +14,7 @@ PACKAGES = (
     "repro.workloads",
     "repro.experiments",
     "repro.obs",
+    "repro.validate",
 )
 
 

@@ -121,3 +121,36 @@ class TestPrefetchAttribution:
         t.insert(tr4k(1))
         t.flush()
         assert t.occupancy() == 0
+
+
+class TestSnapshot:
+    def test_warmup_prefetch_hits_excluded_from_measured(self):
+        # the pre-fix snapshot() skipped the prefetch counters, so warm-up
+        # prefetch hits leaked into the reported measured region
+        t = small_tlb()
+        t.insert(tr4k(1), from_prefetch=True)
+        t.lookup(0x1000)
+        t.snapshot()
+        assert t.prefetch_hits == 1
+        assert t.measured_prefetch_hits == 0
+        t.insert(tr4k(2), from_prefetch=True)
+        t.lookup(0x2000)
+        assert t.prefetch_hits == 2
+        assert t.measured_prefetch_hits == 1
+
+    def test_warmup_evictions_excluded_from_measured(self):
+        t = small_tlb(entries=2, ways=1)  # 2 sets, direct mapped
+        t.insert(tr4k(0), from_prefetch=True)
+        t.insert(tr4k(2))  # evicts the unused warm-up prefetch
+        t.snapshot()
+        assert t.prefetch_evicted_unused == 1
+        assert t.measured_prefetch_evicted_unused == 0
+        t.insert(tr4k(4), from_prefetch=True)
+        t.insert(tr4k(6))
+        assert t.measured_prefetch_evicted_unused == 1
+
+    def test_measured_counters_zero_before_snapshot(self):
+        t = small_tlb()
+        t.insert(tr4k(1), from_prefetch=True)
+        t.lookup(0x1000)
+        assert t.measured_prefetch_hits == 1  # no snapshot yet: whole run
