@@ -1,0 +1,54 @@
+"""Perf smoke: the packed fast path stays bit-identical and does not regress.
+
+Result equality is asserted hard — the fast path's whole contract is that
+``SimConfig(packed=True)`` changes wall time and nothing else.  Throughput is
+advisory: a single CI run is far too noisy to gate a merge on the measured
+ratio (see ``scripts/bench_hotloop.py`` for the careful methodology), so the
+only hard floor here is a generous one that catches the fast path becoming
+*slower* than the generator it replaces.
+"""
+
+from time import perf_counter
+
+from repro.experiments import RunSpec
+from repro.cpu.simulator import simulate
+from repro.validate import result_diff
+from repro.workloads import by_name, get_packed
+
+
+def _best_of(n, fn):
+    best = None
+    value = None
+    for _ in range(n):
+        start = perf_counter()
+        value = fn()
+        elapsed = perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, value
+
+
+class TestPackedFastPath:
+    def run_cell(self, prefetcher, policy, warmup=8_000, sim=24_000):
+        workload = by_name("astar")
+        spec = RunSpec(prefetcher=prefetcher, policy=policy,
+                       warmup_instructions=warmup, sim_instructions=sim)
+        config = spec.config_for(workload)
+        packed_config = spec.config_for(workload)
+        packed_config.packed = True
+        get_packed(workload, warmup, sim)  # pre-pack (steady-state timing)
+        t_gen, gen_result = _best_of(2, lambda: simulate(workload, config))
+        t_packed, packed_result = _best_of(2, lambda: simulate(workload, packed_config))
+        return t_gen, gen_result, t_packed, packed_result
+
+    def test_default_cell_identical_and_not_slower(self):
+        t_gen, gen_result, t_packed, packed_result = self.run_cell("berti", "discard")
+        assert result_diff(gen_result, packed_result) == {}
+        # advisory floor only: the fast path must at minimum not lose to the
+        # generator path it bypasses (true speedup is ~1.5x+, but CI noise
+        # makes a tight ratio assertion flaky)
+        assert t_packed < t_gen * 1.10
+
+    def test_dripper_cell_identical(self):
+        _, gen_result, _, packed_result = self.run_cell("ipcp", "dripper")
+        assert result_diff(gen_result, packed_result) == {}

@@ -1,0 +1,183 @@
+"""Benchmark the packed-trace fast path against the generator drive loop.
+
+For every (prefetcher x policy) cell the same simulation runs twice — once
+through the historical generator path (``drive``) and once through the
+batched fast path (``SimConfig(packed=True)`` -> ``drive_packed``).  Wall
+time is the best of ``--repeats`` runs (single runs are noisy); throughput
+is reported as trace records per second.  Before any timing is reported the
+two paths' :class:`SimResult`\\ s are diffed field by field with the
+differential-validation machinery and the script aborts on any mismatch —
+the speedup is only meaningful if the answers are bit-identical.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_hotloop.py \
+        --workload astar --prefetchers berti ipcp bop \
+        --policies discard dripper --repeats 3
+
+Writes a machine-readable summary (default ``BENCH_0004.json`` at the repo
+root) so perf regressions are diffable across commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+from pathlib import Path
+from time import perf_counter
+
+from repro.experiments import RunSpec, format_table
+from repro.validate import result_diff
+from repro.workloads import by_name, clear_pack_cache, get_packed
+from repro.cpu.simulator import simulate
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _timed(fn):
+    """(wall seconds, return value) for one run of fn.
+
+    Garbage is collected before each run so every timing starts from the
+    same heap state, but the collector stays ON during the run: allocation
+    pressure (and the GC pauses it causes) is a real cost of each path,
+    and the production sweep runs with GC enabled.
+    """
+    gc.collect()
+    start = perf_counter()
+    value = fn()
+    elapsed = perf_counter() - start
+    return elapsed, value
+
+
+def _best_of_interleaved(n: int, fn_a, fn_b):
+    """Best wall seconds for two rivals over n interleaved runs each.
+
+    Alternating a/b per repeat samples both paths across the same window
+    of background load, so a noisy host biases the ratio far less than
+    timing all of a then all of b.  One untimed pair runs first so neither
+    rival pays interpreter warm-up (bytecode specialization, branch
+    history) inside a timed repeat.
+
+    Returns ``(best_a, value_a, best_b, value_b, ratio)`` where ``ratio``
+    is the *median* of the per-pair ``t_a / t_b`` ratios: background load
+    shifts both halves of a pair together (so each pair's ratio is far
+    more stable than the two column minima, which can land in different
+    load windows), and the median rejects the occasional pair that a
+    scheduling hiccup split.
+    """
+    fn_a()
+    fn_b()
+    best_a = best_b = None
+    value_a = value_b = None
+    ratios = []
+    for _ in range(n):
+        t_a, value_a = _timed(fn_a)
+        t_b, value_b = _timed(fn_b)
+        ratios.append(t_a / t_b)
+        if best_a is None or t_a < best_a:
+            best_a = t_a
+        if best_b is None or t_b < best_b:
+            best_b = t_b
+    ratios.sort()
+    mid = len(ratios) // 2
+    ratio = ratios[mid] if len(ratios) % 2 else (ratios[mid - 1] + ratios[mid]) / 2
+    return best_a, value_a, best_b, value_b, ratio
+
+
+def bench_cell(workload, spec: RunSpec, repeats: int) -> dict:
+    """Time one (prefetcher, policy) cell both ways; assert equality."""
+    config = spec.config_for(workload)
+    packed_config = spec.config_for(workload)
+    packed_config.packed = True
+
+    # pre-pack so the packed timing measures the drive loop, not trace
+    # generation — exactly the steady state of a grid sweep, where one
+    # PackedTrace is reused across every cell of the same workload
+    packed_trace = get_packed(workload, config.warmup_instructions, config.sim_instructions)
+    records = len(packed_trace)
+
+    t_gen, gen_result, t_packed, packed_result, speedup = _best_of_interleaved(
+        repeats,
+        lambda: simulate(workload, config),
+        lambda: simulate(workload, packed_config),
+    )
+
+    diffs = result_diff(gen_result, packed_result)
+    if diffs:
+        parts = "; ".join(f"{k}: {a!r} != {b!r}" for k, (a, b) in diffs.items())
+        raise SystemExit(
+            f"FAIL: packed result diverged from generator for "
+            f"{workload.name}/{spec.prefetcher}/{spec.policy}: {parts}"
+        )
+
+    return {
+        "prefetcher": spec.prefetcher,
+        "policy": spec.policy,
+        "records": records,
+        "instructions": gen_result.instructions,
+        "generator_seconds": t_gen,
+        "packed_seconds": t_packed,
+        "generator_records_per_sec": records / t_gen,
+        "packed_records_per_sec": records / t_packed,
+        #: median of per-pair wall-time ratios (see _best_of_interleaved)
+        "speedup": speedup,
+        "ipc": gen_result.ipc,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="astar")
+    parser.add_argument("--prefetchers", nargs="+", default=["berti", "ipcp", "bop"])
+    parser.add_argument("--policies", nargs="+", default=["discard", "dripper"])
+    parser.add_argument("--warmup", type=int, default=20_000)
+    parser.add_argument("--sim", type=int, default=60_000)
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="take the best of N runs per path (default: 5)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_0004.json"),
+                        help="JSON summary path ('' to skip writing)")
+    args = parser.parse_args()
+
+    workload = by_name(args.workload)
+    clear_pack_cache()
+    cells = []
+    for prefetcher in args.prefetchers:
+        for policy in args.policies:
+            spec = RunSpec(prefetcher=prefetcher, policy=policy,
+                           warmup_instructions=args.warmup,
+                           sim_instructions=args.sim)
+            cells.append(bench_cell(workload, spec, args.repeats))
+
+    rows = [
+        (c["prefetcher"], c["policy"],
+         f"{c['generator_records_per_sec'] / 1e3:.1f}k",
+         f"{c['packed_records_per_sec'] / 1e3:.1f}k",
+         f"{c['speedup']:.2f}x")
+        for c in cells
+    ]
+    print(format_table(
+        ["prefetcher", "policy", "gen rec/s", "packed rec/s", "speedup"],
+        rows,
+        f"{workload.name}: generator vs packed drive loop "
+        f"(best of {args.repeats}, {args.warmup}+{args.sim} instructions)",
+    ))
+
+    payload = {
+        "benchmark": "hotloop",
+        "workload": workload.name,
+        "warmup_instructions": args.warmup,
+        "sim_instructions": args.sim,
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "cells": cells,
+    }
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

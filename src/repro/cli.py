@@ -16,9 +16,13 @@ Subcommands::
 ``run``, ``compare``, ``sweep``, and ``inspect`` accept ``--validate``, which
 attaches a runtime invariant checker to every simulation (conservation laws
 asserted per epoch and at collect time; a violation aborts the command with a
-counter snapshot).  ``validate`` runs the differential suite — determinism,
-parallel-vs-serial, discard-vs-source-suppression, epoch invariance, per-run
-invariant passes, and mutation detection.
+counter snapshot).  The same four subcommands accept ``--packed``, which
+drives each simulation through the packed-trace fast path (records are
+pre-decoded into flat buffers and the drive loop is batched; results are
+bit-identical to the generator path, just faster).  ``validate`` runs the
+differential suite — determinism, parallel-vs-serial,
+discard-vs-source-suppression, epoch invariance, packed-vs-generator
+equality, per-run invariant passes, and mutation detection.
 
 ``run``, ``compare``, ``sweep``, and ``inspect`` accept observability flags:
 ``--timeline-out`` (per-epoch CSV/JSONL time series), ``--journal``
@@ -73,6 +77,7 @@ def _spec(args: argparse.Namespace, policy: str) -> RunSpec:
         sim_instructions=args.sim,
         large_page_fraction=args.large_pages,
         validate=getattr(args, "validate", False),
+        packed=getattr(args, "packed", False),
     )
 
 
@@ -235,6 +240,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         warmup_instructions=args.warmup,
         sim_instructions=args.sim,
         validate=args.validate,
+        packed=args.packed,
     )
     obs = _make_obs(args)
     cache = _make_cache(args)
@@ -416,6 +422,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--validate", action="store_true",
                        help="attach the runtime invariant checker to every run "
                             "(abort with a counter snapshot on violation)")
+        p.add_argument("--packed", action="store_true",
+                       help="drive the simulation through the packed-trace fast "
+                            "path (bit-identical results, substantially faster)")
 
     def add_parallel_args(p: argparse.ArgumentParser) -> None:
         g = p.add_argument_group("execution")
@@ -468,6 +477,8 @@ def build_parser() -> argparse.ArgumentParser:
     swp_p.add_argument("--sim", type=int, default=60_000)
     swp_p.add_argument("--validate", action="store_true",
                        help="attach the runtime invariant checker to every run")
+    swp_p.add_argument("--packed", action="store_true",
+                       help="drive every run through the packed-trace fast path")
     add_parallel_args(swp_p)
     add_obs_args(swp_p)
     swp_p.set_defaults(func=cmd_sweep)

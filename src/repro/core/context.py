@@ -58,11 +58,18 @@ class FeatureContext:
         """Record a demand L1D access."""
         self._seen_tick += 1
         page = vaddr >> PAGE_4K_SHIFT
-        self.first_page_access = page not in self._seen_pages
-        if self.first_page_access and len(self._seen_pages) >= self._seen_cap:
-            victim = min(self._seen_pages, key=self._seen_pages.get)
-            del self._seen_pages[victim]
-        self._seen_pages[page] = self._seen_tick
+        # the dict is kept in touch order (every touch reinserts the key), so
+        # the LRU victim — the minimum-tick page — is always the first key,
+        # replacing a linear min() scan per first-touch eviction
+        seen = self._seen_pages
+        if page in seen:
+            self.first_page_access = False
+            del seen[page]
+        else:
+            self.first_page_access = True
+            if len(seen) >= self._seen_cap:
+                del seen[next(iter(seen))]
+        seen[page] = self._seen_tick
         ph = self.pc_history
         vh = self.va_history
         ph[2] = ph[1]

@@ -35,6 +35,10 @@ class PageCrossPolicy:
     #: when True the simulator discards the request if its translation is not
     #: already TLB resident instead of starting a speculative walk
     requires_translation_hit = False
+    #: when True the simulator refreshes ``state.l1d_inflight_misses`` before
+    #: every decide() call; policies whose decision ignores system state opt
+    #: out so the engine can skip the (linear) in-flight recount
+    wants_inflight_feature = True
 
     def decide(self, req: PrefetchRequest, ctx: FeatureContext, state: SystemState) -> Decision:
         """Should this page-cross prefetch be issued?"""
@@ -69,6 +73,7 @@ class PermitPgc(PageCrossPolicy):
     """Always permit page-cross prefetches (Permit PGC)."""
 
     name = "permit-pgc"
+    wants_inflight_feature = False
 
     def decide(self, req: PrefetchRequest, ctx: FeatureContext, state: SystemState) -> Decision:
         """Always issue."""
@@ -79,6 +84,7 @@ class DiscardPgc(PageCrossPolicy):
     """Always discard page-cross prefetches (Discard PGC, the baseline)."""
 
     name = "discard-pgc"
+    wants_inflight_feature = False
 
     def decide(self, req: PrefetchRequest, ctx: FeatureContext, state: SystemState) -> Decision:
         """Always discard."""
@@ -90,6 +96,7 @@ class DiscardPtw(PageCrossPolicy):
 
     name = "discard-ptw"
     requires_translation_hit = True
+    wants_inflight_feature = False
 
     def decide(self, req: PrefetchRequest, ctx: FeatureContext, state: SystemState) -> Decision:
         """Issue; the engine discards it on a TLB miss instead of walking."""

@@ -29,7 +29,7 @@ from repro.params import SystemParams
 from repro.prefetch.base import L1dPrefetcher
 from repro.prefetch.l2_adapters import L2Prefetcher
 from repro.prefetch.next_line import NextLinePrefetcher
-from repro.vm.address import LINE_SHIFT, PAGE_4K_SHIFT, canonical
+from repro.vm.address import LINE_SHIFT, PAGE_4K_SHIFT, VA_MASK, canonical
 from repro.vm.page_table import PageTable, Translation
 from repro.vm.tlb import Tlb
 from repro.vm.walker import PageWalker
@@ -230,33 +230,60 @@ class CoreEngine:
         requests = self._pf_on_access(pc, trigger_vaddr, hit, t)
         if not requests:
             return
+        self._dispatch_prefetches(requests, trigger_vaddr, trigger_tr, t, pc)
+
+    def _dispatch_prefetches(self, requests, trigger_vaddr: int, trigger_tr: Translation, t: float, pc: int) -> None:
+        """Route prefetch candidates through steps A-D of Figure 5.
+
+        Split from :meth:`_handle_prefetches` so the batched drive loop
+        (:func:`repro.cpu.fastpath.drive_packed`) can invoke the prefetcher
+        through its cached seam and only pay this dispatch when the access
+        actually produced candidates.
+        """
         trigger_page = trigger_vaddr >> PAGE_4K_SHIFT
         native_shift = trigger_tr.page_shift
+        # hoisted loop invariants (this runs once per candidate-producing
+        # access; inlined canonical() and Translation.physical())
+        l1d = self.hierarchy.l1d
+        l1d_sets, l1d_set_mask = l1d._sets, l1d._set_mask
+        prefetch_l1d = self.hierarchy.prefetch_l1d
+        policy = self.policy
+        pgc = self.pgc
+        tr_base = trigger_tr.pfn << native_shift
+        tr_off_mask = trigger_tr.page_bytes - 1
+        trigger_native_vpn = trigger_vaddr >> native_shift
+        filter_native = getattr(policy, "filter_at_native_boundary", False)
         for req in requests:
-            target = canonical(req.vaddr)
+            target = req.vaddr & VA_MASK
             req.vaddr = target
             if (target >> PAGE_4K_SHIFT) == trigger_page:
-                # in-page prefetch: same frame, no policy involvement (step A)
-                self.hierarchy.prefetch_l1d(trigger_tr.physical(target), t)
+                # in-page prefetch: same frame, no policy involvement (step A);
+                # prefetch_l1d is a no-op on a resident line, so a residency
+                # probe skips the call for the common already-cached target
+                paddr = tr_base | (target & tr_off_mask)
+                pline = paddr >> LINE_SHIFT
+                if l1d_sets[pline & l1d_set_mask].get(pline) is None:
+                    prefetch_l1d(paddr, t)
                 continue
-            self.pgc.candidates += 1
-            same_translation = (target >> native_shift) == (trigger_vaddr >> native_shift)
+            pgc.candidates += 1
+            same_translation = (target >> native_shift) == trigger_native_vpn
             if same_translation:
-                self.pgc.same_translation += 1
-            filter_this = not (same_translation and getattr(self.policy, "filter_at_native_boundary", False))
+                pgc.same_translation += 1
+            filter_this = not (same_translation and filter_native)
             if filter_this:
-                self.system_state.l1d_inflight_misses = self.hierarchy.l1d.in_flight_misses(t)
+                if policy.wants_inflight_feature:
+                    self.system_state.l1d_inflight_misses = self.hierarchy.l1d.in_flight_misses(t)
                 decision = self._policy_decide(req, self.fctx, self.system_state)
                 if not decision.issue:
-                    self.pgc.discarded += 1
-                    self.policy.on_discarded(target >> LINE_SHIFT, decision.record)
+                    pgc.discarded += 1
+                    policy.on_discarded(target >> LINE_SHIFT, decision.record)
                     continue
                 record = decision.record
             else:
                 record = None
             if same_translation:
                 # 4KB-cross within a 2MB page: translation already in hand
-                paddr = trigger_tr.physical(target)
+                paddr = tr_base | (target & tr_off_mask)
                 trans_lat = 0.0
             else:
                 tr = self.dtlb.lookup(target, speculative=True)
@@ -302,9 +329,16 @@ class CoreEngine:
                 fetch_t += penalty
             for target_line in self.l1i_prefetcher.on_fetch(ibase >> LINE_SHIFT):
                 self.hierarchy.prefetch_l1i(target_line << LINE_SHIFT, fetch_t)
-            # long gaps span additional sequential code lines (4B/instr)
+            # long gaps span additional sequential code lines (4B/instr);
+            # the run is clamped at the translated frame's edge — itr only
+            # maps this page, so fetching past it would target a physical
+            # address the translation never covered
             extra_lines = (gap * 4) >> LINE_SHIFT
             if extra_lines:
+                page_mask = (1 << itr.page_shift) - 1
+                frame_left = (page_mask - (ibase & page_mask)) >> LINE_SHIFT
+                if extra_lines > frame_left:
+                    extra_lines = frame_left
                 for k in range(1, min(extra_lines, 8) + 1):
                     flat = self._mem_ifetch(ibase + (k << LINE_SHIFT), fetch_t)
                     if flat > self.hierarchy.l1i.latency:

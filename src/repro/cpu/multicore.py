@@ -57,7 +57,7 @@ def simulate_mix(workloads: Sequence[SyntheticWorkload], config: SimConfig) -> M
         warmup, sim = config.warmup_instructions, config.sim_instructions
         if workload.suite.startswith("QMM"):
             warmup, sim = warmup // 2, sim // 2
-        budgets.append((warmup, warmup + sim))
+        budgets.append((warmup, sim))
     iterators = [iter(w.generate()) for w in workloads]
     measuring = [False] * cores
     finished: list[SimResult | None] = [None] * cores
@@ -77,11 +77,13 @@ def simulate_mix(workloads: Sequence[SyntheticWorkload], config: SimConfig) -> M
             iterators[i] = iter(workloads[i].generate())
             record = next(iterators[i])
         engine.step(*record)
-        warm_limit, total_limit = budgets[i]
+        warm_limit, sim_limit = budgets[i]
         if not measuring[i] and engine.instructions >= warm_limit:
             engine.begin_measurement()
             measuring[i] = True
-        if finished[i] is None and engine.instructions >= total_limit:
+        # measured-region completion, not a raw warm+sim total: a gap that
+        # overshoots the warm-up boundary must not shorten the measured region
+        if finished[i] is None and measuring[i] and engine.measured_instructions >= sim_limit:
             finished[i] = collect_result(engine, workloads[i].name, config)
             remaining -= 1
             # replay: the core keeps running to stress shared resources

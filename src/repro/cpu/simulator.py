@@ -51,6 +51,10 @@ class SimConfig:
     #: (conservation laws checked per epoch and at collect time); purely
     #: observational — a validated run produces the same SimResult
     validate: bool = False
+    #: drive through the batched fast path (:mod:`repro.cpu.fastpath`) over a
+    #: cached :class:`~repro.workloads.packed.PackedTrace` instead of the
+    #: per-record generator loop; results are bit-identical either way
+    packed: bool = False
 
 
 @dataclass
@@ -256,16 +260,21 @@ def drive(engine: CoreEngine, workload: Workload, config: SimConfig) -> float:
     the production drive loop.
     """
     warm_limit = config.warmup_instructions
-    total_limit = warm_limit + config.sim_instructions
+    sim_limit = config.sim_instructions
     step = engine.step
     measuring = False
     wall_start = perf_counter()
+    # The loop runs until the *measured* region is complete, not until a raw
+    # warm+sim instruction total: a record whose gap overshoots the warm-up
+    # boundary starts measurement late, and breaking at the raw total used to
+    # silently under-measure by the overshoot without ever tripping the
+    # truncation error below.
     for pc, vaddr, flags, gap in workload.generate():
         step(pc, vaddr, flags, gap)
         if not measuring and engine.instructions >= warm_limit:
             engine.begin_measurement()
             measuring = True
-        if engine.instructions >= total_limit:
+        if measuring and engine.measured_instructions >= sim_limit:
             break
     wall_seconds = perf_counter() - wall_start
     if not measuring:
@@ -273,7 +282,7 @@ def drive(engine: CoreEngine, workload: Workload, config: SimConfig) -> float:
             f"workload {workload.name!r} ended after {engine.instructions} instructions, "
             f"before the {warm_limit}-instruction warm-up completed"
         )
-    if engine.instructions < total_limit:
+    if engine.measured_instructions < sim_limit:
         raise ValueError(
             f"workload {workload.name!r} ended after {engine.instructions} instructions, "
             f"truncating the measured region to "
@@ -305,7 +314,14 @@ def simulate(
 
         checker = InvariantChecker(obs=obs, workload=workload.name)
         checker.attach(engine)
-    wall_seconds = drive(engine, workload, config)
+    if config.packed:
+        from repro.cpu.fastpath import drive_packed
+        from repro.workloads.packed import get_packed
+
+        packed = get_packed(workload, config.warmup_instructions, config.sim_instructions)
+        wall_seconds = drive_packed(engine, packed, config)
+    else:
+        wall_seconds = drive(engine, workload, config)
     result = collect_result(engine, workload.name, config)
     if checker is not None:
         checker.check_final(engine, result)

@@ -124,8 +124,10 @@ def cell_fingerprint(cell: Cell, workload: Optional[Any] = None) -> str:
     config = build_config(cell, workload)
     spec_dump = asdict(cell.spec)
     # validation is observational — a validated run returns the identical
-    # result, so validated and unvalidated cells share cache entries
+    # result, so validated and unvalidated cells share cache entries; the
+    # packed fast path is bit-identical by contract, so it shares them too
     spec_dump.pop("validate", None)
+    spec_dump.pop("packed", None)
     identity = describe_workload(workload)
     for knob in ("store_fraction", "code_lines", "mispredict_rate",
                  "branch_profile", "pcs_per_pattern", "path"):

@@ -62,6 +62,9 @@ class RunSpec:
     #: a validated run produces the same SimResult, so the result cache
     #: deliberately ignores this knob — see `cell_fingerprint`)
     validate: bool = False
+    #: drive each run through the packed fast path (bit-identical results;
+    #: like `validate`, excluded from the cell fingerprint)
+    packed: bool = False
 
     def config_for(self, workload: SyntheticWorkload) -> SimConfig:
         """Materialise a SimConfig (QMM workloads run half-length traces)."""
@@ -86,6 +89,7 @@ class RunSpec:
             large_page_fraction=self.large_page_fraction,
             prefetcher_extra_storage=ISO_STORAGE_BYTES if self.policy.lower().startswith("iso") else 0,
             validate=self.validate,
+            packed=self.packed,
         )
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Optional, Protocol
 
-from repro.mem.replacement import make_replacement_policy
+from repro.mem.replacement import LruPolicy, make_replacement_policy
 from repro.params import CacheParams
 from repro.stats import HitMissStats
 from repro.vm.address import LINE_SHIFT
@@ -64,6 +64,20 @@ class Cache:
         self._ways = params.ways
         self._sets: list[dict[int, Block]] = [dict() for _ in range(params.sets)]
         self._policy = make_replacement_policy(params.replacement)
+        # LRU fast path: on_hit/on_fill collapse to a tick bump plus a field
+        # store, so the two hottest methods inline them instead of paying a
+        # Python call per access.  pa-lru inherits LruPolicy.on_hit unchanged,
+        # so hit promotion fuses for it too; its on_fill differs and doesn't.
+        self._fuse_hit = (isinstance(self._policy, LruPolicy)
+                          and type(self._policy).on_hit is LruPolicy.on_hit)
+        self._fuse_fill = type(self._policy) is LruPolicy
+        # Move-to-end discipline (plain LRU only): every recency touch
+        # reinserts the block's key, so dict iteration order is ascending
+        # recency and the victim is simply the first key — no O(ways) scan.
+        # Ticks are unique and monotonic, so the first key is exactly the
+        # min-lru block the scan would pick.  Every fused touch point (here
+        # and the replicated hit arms in repro.cpu.fastpath) maintains it.
+        self._fuse_order = self._fuse_fill
         #: line -> fill-ready time for outstanding misses; the dict is keyed
         #: by line, so re-registered lines replace their stale entry instead
         #: of being double counted
@@ -93,17 +107,35 @@ class Cache:
 
     def probe(self, line: int) -> Optional[Block]:
         """Check residency without touching LRU state or statistics."""
-        return self._set_for(line).get(line)
+        return self._sets[line & self._set_mask].get(line)
 
     def lookup(self, line: int, t: float, *, demand: bool = True) -> Optional[Block]:
         """Tag lookup; updates replacement state and statistics."""
-        block = self._set_for(line).get(line)
+        cset = self._sets[line & self._set_mask]
+        block = cset.get(line)
         hit = block is not None
-        self.stats.record(hit)
-        if demand:
-            self.demand_stats.record(hit)
+        stats = self.stats
+        stats.accesses += 1
         if hit:
-            self._policy.on_hit(block)
+            stats.hits += 1
+        else:
+            stats.misses += 1
+        if demand:
+            dstats = self.demand_stats
+            dstats.accesses += 1
+            if hit:
+                dstats.hits += 1
+            else:
+                dstats.misses += 1
+        if hit:
+            if self._fuse_hit:
+                policy = self._policy
+                policy._tick += 1
+                block.lru = policy._tick
+                del cset[line]
+                cset[line] = block
+            else:
+                self._policy.on_hit(block)
             if demand:
                 if block.prefetched and block.hits == 0:
                     self.prefetch_useful += 1
@@ -116,36 +148,58 @@ class Cache:
 
     def fill(self, line: int, t: float, ready: float, *, prefetched: bool = False, pcb: bool = False) -> None:
         """Install a line, evicting the policy's victim if the set is full."""
-        cset = self._set_for(line)
+        cset = self._sets[line & self._set_mask]
         existing = cset.get(line)
         if existing is not None:
             # refill of a resident line (e.g. prefetch hit under demand): keep
             # the earlier ready time, never downgrade a demand block to a
             # prefetch block.
-            self._policy.on_hit(existing)
+            if self._fuse_hit:
+                policy = self._policy
+                policy._tick += 1
+                existing.lru = policy._tick
+                del cset[line]
+                cset[line] = existing
+            else:
+                self._policy.on_hit(existing)
             if ready < existing.ready:
                 existing.ready = ready
             return
         if len(cset) >= self._ways:
-            victim_line = self._policy.victim(cset)
-            self._evict(victim_line, cset.pop(victim_line), t)
-        block = Block(line, 0, ready, prefetched, pcb)
+            victim_line = (next(iter(cset)) if self._fuse_order
+                           else self._policy.victim(cset))
+            vblock = cset.pop(victim_line)
+            # inlined _evict (hot)
+            if vblock.prefetched and vblock.hits == 0:
+                self.prefetch_useless += 1
+                if vblock.pcb:
+                    self.pgc_useless += 1
+                    if self.listener is not None:
+                        self.listener.on_pcb_evict_unused(victim_line)
+            if vblock.dirty and self._writeback is not None:
+                self._writeback(victim_line, t)
+            # recycle the evicted Block object (fills evict in steady state,
+            # so this avoids an allocation per fill)
+            block = vblock
+            block.tag = line
+            block.ready = ready
+            block.dirty = False
+            block.prefetched = prefetched
+            block.pcb = pcb
+            block.hits = 0
+        else:
+            block = Block(line, 0, ready, prefetched, pcb)
         cset[line] = block
-        self._policy.on_fill(block, prefetched)
+        if self._fuse_fill:
+            policy = self._policy
+            policy._tick += 1
+            block.lru = policy._tick
+        else:
+            self._policy.on_fill(block, prefetched)
         if prefetched:
             self.prefetch_fills += 1
             if pcb:
                 self.pgc_fills += 1
-
-    def _evict(self, line: int, block: Block, t: float) -> None:
-        if block.prefetched and block.hits == 0:
-            self.prefetch_useless += 1
-            if block.pcb:
-                self.pgc_useless += 1
-                if self.listener is not None:
-                    self.listener.on_pcb_evict_unused(line)
-        if block.dirty and self._writeback is not None:
-            self._writeback(line, t)
 
     def invalidate(self, line: int) -> None:
         """Drop the line if resident (no writeback, no statistics)."""
@@ -165,13 +219,17 @@ class Cache:
     def mshr_delay(self, t: float) -> float:
         """Extra cycles a new miss waits for a free MSHR at time `t`."""
         heap = self._mshr_heap
-        while heap and heap[0][0] <= t:
-            _, line = heapq.heappop(heap)
-            if self._outstanding.get(line, 0.0) <= t:
-                self._outstanding.pop(line, None)
+        if heap and heap[0][0] <= t:
+            out = self._outstanding
+            pop = heapq.heappop
+            while heap and heap[0][0] <= t:
+                _, line = pop(heap)
+                ready = out.get(line)
+                if ready is not None and ready <= t:
+                    del out[line]
         if len(heap) >= self._mshr_entries:
-            earliest = heap[0][0]
-            return max(0.0, earliest - t)
+            # the drain above popped every entry <= t, so this is positive
+            return heap[0][0] - t
         return 0.0
 
     def register_miss(self, line: int, t: float, ready: float) -> None:

@@ -33,6 +33,12 @@ class Dram:
         self.row_hits = 0
         self.row_misses = 0
         self._snap = (0, 0)
+        # hot-path constants (read() runs once per LLC miss)
+        self._transfer = params.transfer_cycles
+        self._row_buffer = params.row_buffer
+        self._lines_per_row = params.lines_per_row
+        self._access_lat_f = float(params.access_latency)
+        self._row_hit_lat_f = float(params.row_hit_latency)
 
     def _channel(self, line: int) -> int:
         return line & self._channel_mask
@@ -55,10 +61,24 @@ class Dram:
     def read(self, line: int, t: float) -> float:
         """Issue a read; returns its latency including queueing delay."""
         self.reads += 1
-        ch = self._channel(line)
-        start = max(t, self._next_free[ch])
-        self._next_free[ch] = start + self.params.transfer_cycles
-        return (start - t) + self._access_latency(line, ch)
+        ch = line & self._channel_mask
+        nf = self._next_free
+        start = nf[ch]
+        if t > start:
+            start = t
+        nf[ch] = start + self._transfer
+        # inlined _access_latency (hot)
+        if not self._row_buffer:
+            return (start - t) + self._access_lat_f
+        row = line // self._lines_per_row
+        bank = row & self._bank_mask
+        rows = self._open_rows[ch]
+        if rows[bank] == row:
+            self.row_hits += 1
+            return (start - t) + self._row_hit_lat_f
+        self.row_misses += 1
+        rows[bank] = row
+        return (start - t) + self._access_lat_f
 
     def write(self, line: int, t: float) -> None:
         """Issue a writeback; consumes bandwidth but nobody waits on it."""

@@ -16,6 +16,7 @@ residual wait.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Optional
 
 from repro.mem.cache import Cache
@@ -76,16 +77,28 @@ class MemoryHierarchy:
             self.llc_core_stats.record(block is not None)
         if block is not None:
             return max(lat, block.ready - t)
-        merged = self.llc.outstanding_ready(line, t)
+        # inlined Cache.outstanding_ready (hot): merge into an in-flight
+        # fill when one exists, dropping stale completed entries
+        out = self.llc._outstanding
+        merged = out.get(line)
         if merged is not None:
-            # merging into an almost-complete fill still costs a tag lookup
-            return max(float(lat), merged - t)
-        stall = self.llc.mshr_delay(t)
+            if merged > t:
+                # merging into an almost-complete fill still costs a tag lookup
+                return max(float(lat), merged - t)
+            del out[line]
+        # inlined register_miss + guarded mshr_delay (the call is a pure
+        # no-op returning 0.0 unless the heap has drainable or full entries)
+        llc = self.llc
+        heap = llc._mshr_heap
+        stall = (llc.mshr_delay(t)
+                 if heap and (heap[0][0] <= t or len(heap) >= llc._mshr_entries)
+                 else 0.0)
         issue = t + lat + stall
         dram_lat = self.dram.read(line, issue)
         ready = issue + dram_lat
-        self.llc.register_miss(line, t, ready)
-        self.llc.fill(line, t, ready)
+        out[line] = ready
+        heappush(heap, (ready, line))
+        llc.fill(line, t, ready)
         return ready - t
 
     def _read_l2(self, line: int, t: float, demand: bool) -> float:
@@ -94,15 +107,23 @@ class MemoryHierarchy:
         block = self.l2c.lookup(line, t, demand=demand)
         if block is not None:
             return max(lat, block.ready - t)
-        merged = self.l2c.outstanding_ready(line, t)
+        out = self.l2c._outstanding
+        merged = out.get(line)
         if merged is not None:
-            return max(float(lat), merged - t)
-        stall = self.l2c.mshr_delay(t)
+            if merged > t:
+                return max(float(lat), merged - t)
+            del out[line]
+        l2c = self.l2c
+        heap = l2c._mshr_heap
+        stall = (l2c.mshr_delay(t)
+                 if heap and (heap[0][0] <= t or len(heap) >= l2c._mshr_entries)
+                 else 0.0)
         issue = t + lat + stall
         lower = self._read_llc(line, issue, demand)
         ready = issue + lower
-        self.l2c.register_miss(line, t, ready)
-        self.l2c.fill(line, t, ready)
+        out[line] = ready
+        heappush(heap, (ready, line))
+        l2c.fill(line, t, ready)
         return ready - t
 
     # -- demand data path ----------------------------------------------------
@@ -118,15 +139,23 @@ class MemoryHierarchy:
                     self.l1d.prefetch_late += 1
                 return block.ready - t, True
             return float(lat), True
-        merged = self.l1d.outstanding_ready(line, t)
+        out = self.l1d._outstanding
+        merged = out.get(line)
         if merged is not None:
-            return max(float(lat), merged - t), False
-        stall = self.l1d.mshr_delay(t)
+            if merged > t:
+                return max(float(lat), merged - t), False
+            del out[line]
+        l1d = self.l1d
+        heap = l1d._mshr_heap
+        stall = (l1d.mshr_delay(t)
+                 if heap and (heap[0][0] <= t or len(heap) >= l1d._mshr_entries)
+                 else 0.0)
         issue = t + lat + stall
         lower = self._read_l2(line, issue, demand=True)
         ready = issue + lower
-        self.l1d.register_miss(line, t, ready)
-        self.l1d.fill(line, t, ready)
+        out[line] = ready
+        heappush(heap, (ready, line))
+        l1d.fill(line, t, ready)
         return ready - t, False
 
     def store(self, paddr: int, t: float) -> float:
@@ -157,28 +186,47 @@ class MemoryHierarchy:
         block = self.l1i.lookup(line, t, demand=True)
         if block is not None:
             return max(float(lat), block.ready - t)
-        merged = self.l1i.outstanding_ready(line, t)
+        out = self.l1i._outstanding
+        merged = out.get(line)
         if merged is not None:
-            return max(float(lat), merged - t)
-        stall = self.l1i.mshr_delay(t)
+            if merged > t:
+                return max(float(lat), merged - t)
+            del out[line]
+        l1i = self.l1i
+        heap = l1i._mshr_heap
+        stall = (l1i.mshr_delay(t)
+                 if heap and (heap[0][0] <= t or len(heap) >= l1i._mshr_entries)
+                 else 0.0)
         issue = t + lat + stall
         lower = self._read_l2(line, issue, demand=True)
         ready = issue + lower
-        self.l1i.register_miss(line, t, ready)
-        self.l1i.fill(line, t, ready)
+        out[line] = ready
+        heappush(heap, (ready, line))
+        l1i.fill(line, t, ready)
         return ready - t
 
     def prefetch_l1i(self, paddr: int, t: float) -> None:
         """Next-line style instruction prefetch fill."""
         line = paddr >> LINE_SHIFT
-        if self.l1i.probe(line) is not None or self.l1i.outstanding_ready(line, t) is not None:
+        l1i = self.l1i
+        if l1i._sets[line & l1i._set_mask].get(line) is not None:
             return
-        stall = self.l1i.mshr_delay(t)
-        issue = t + self.l1i.latency + stall
+        out = l1i._outstanding
+        merged = out.get(line)
+        if merged is not None:
+            if merged > t:
+                return
+            del out[line]
+        heap = l1i._mshr_heap
+        stall = (l1i.mshr_delay(t)
+                 if heap and (heap[0][0] <= t or len(heap) >= l1i._mshr_entries)
+                 else 0.0)
+        issue = t + l1i.latency + stall
         lower = self._read_l2(line, issue, demand=False)
         ready = issue + lower
-        self.l1i.register_miss(line, t, ready)
-        self.l1i.fill(line, t, ready, prefetched=True)
+        out[line] = ready
+        heappush(heap, (ready, line))
+        l1i.fill(line, t, ready, prefetched=True)
 
     # -- prefetch paths ---------------------------------------------------------
 
@@ -186,16 +234,25 @@ class MemoryHierarchy:
         """L1D prefetch fill; returns the fill-ready time, or None if dropped
         (already resident / already in flight)."""
         line = paddr >> LINE_SHIFT
-        if self.l1d.probe(line) is not None:
+        l1d = self.l1d
+        if l1d._sets[line & l1d._set_mask].get(line) is not None:
             return None
-        if self.l1d.outstanding_ready(line, t) is not None:
-            return None
-        stall = self.l1d.mshr_delay(t)
-        issue = t + self.l1d.latency + stall
+        out = l1d._outstanding
+        merged = out.get(line)
+        if merged is not None:
+            if merged > t:
+                return None
+            del out[line]
+        heap = l1d._mshr_heap
+        stall = (l1d.mshr_delay(t)
+                 if heap and (heap[0][0] <= t or len(heap) >= l1d._mshr_entries)
+                 else 0.0)
+        issue = t + l1d.latency + stall
         lower = self._read_l2(line, issue, demand=False)
         ready = issue + lower
-        self.l1d.register_miss(line, t, ready)
-        self.l1d.fill(line, t, ready, prefetched=True, pcb=pcb)
+        out[line] = ready
+        heappush(heap, (ready, line))
+        l1d.fill(line, t, ready, prefetched=True, pcb=pcb)
         return ready
 
     def prefetch_l2(self, paddr: int, t: float) -> Optional[float]:

@@ -41,7 +41,17 @@ class LruPolicy:
 
     def victim(self, blocks: dict) -> int:
         """Evict the least-recently-used block."""
-        return min(blocks, key=lambda line: blocks[line].lru)
+        # manual scan: min(blocks, key=lambda ...) allocates a closure and
+        # pays a Python call per block on this very hot path; strict < keeps
+        # min()'s first-minimum tie-breaking
+        best_line = -1
+        best_lru = None
+        for line, block in blocks.items():
+            lru = block.lru
+            if best_lru is None or lru < best_lru:
+                best_lru = lru
+                best_line = line
+        return best_line
 
 
 class PrefetchAwareLruPolicy(LruPolicy):

@@ -23,7 +23,9 @@ class _IpEntry:
     __slots__ = ("history", "deltas", "accesses", "best")
 
     def __init__(self) -> None:
-        self.history: list[tuple[int, float]] = []  # (line, time), newest last
+        #: accessed lines, newest last (timeliness is judged by history
+        #: *depth*, not wall time — see min_lookback — so no timestamps)
+        self.history: list[int] = []
         self.deltas: dict[int, int] = {}
         self.accesses = 0
         self.best: list[int] = []
@@ -63,16 +65,21 @@ class BertiPrefetcher(L1dPrefetcher):
         self._tick = 0
 
     def _entry(self, pc: int) -> _IpEntry:
+        # self._lru is kept in touch order (touching a pc reinserts its key),
+        # so the LRU victim is always the first key — no min() scan
         self._tick += 1
+        lru = self._lru
         entry = self._table.get(pc)
         if entry is None:
             if len(self._table) >= self.ip_table_entries:
-                victim = min(self._lru, key=self._lru.get)
+                victim = next(iter(lru))
                 del self._table[victim]
-                del self._lru[victim]
+                del lru[victim]
             entry = _IpEntry()
             self._table[pc] = entry
-        self._lru[pc] = self._tick
+        else:
+            del lru[pc]
+        lru[pc] = self._tick
         return entry
 
     def on_access(self, pc: int, vaddr: int, hit: bool, t: float) -> list[PrefetchRequest]:
@@ -85,10 +92,14 @@ class BertiPrefetcher(L1dPrefetcher):
         # that would arrive too late to matter)
         history = entry.history
         eligible = len(history) - self.min_lookback + 1
-        for i in range(eligible):
-            delta = line - history[i][0]
-            if delta != 0 and -self.max_delta <= delta <= self.max_delta:
-                entry.deltas[delta] = entry.deltas.get(delta, 0) + 1
+        if eligible > 0:
+            deltas = entry.deltas
+            deltas_get = deltas.get
+            max_delta = self.max_delta
+            for anchor in history[:eligible]:
+                delta = line - anchor
+                if delta != 0 and -max_delta <= delta <= max_delta:
+                    deltas[delta] = deltas_get(delta, 0) + 1
         # periodically refresh the confident-delta set and age counters
         if entry.accesses % self.refresh_interval == 0 and entry.deltas:
             bar = self.coverage_threshold * self.refresh_interval
@@ -97,10 +108,15 @@ class BertiPrefetcher(L1dPrefetcher):
             confident.sort(key=abs, reverse=True)
             entry.best = confident[: self.max_best_deltas]
             entry.deltas = {d: n // 2 for d, n in entry.deltas.items() if n > 1}
-        history.append((line, t))
+        history.append(line)
         if len(history) > self.history_entries:
             history.pop(0)
+        best = entry.best
+        if not best:
+            return []
+        # inlined _request: target (line+delta) << LINE_SHIFT, trigger delta
+        shift = LINE_SHIFT
         return [
-            self._request(line + delta, pc, line, meta=rank)
-            for rank, delta in enumerate(entry.best, start=1)
+            PrefetchRequest((line + delta) << shift, pc, delta, rank)
+            for rank, delta in enumerate(best, start=1)
         ]

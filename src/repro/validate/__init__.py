@@ -8,14 +8,15 @@ Two complementary layers guard the simulator's headline counters:
   ``SimConfig(validate=True)`` or the CLI's ``--validate`` flag;
 * :func:`run_validation_suite` (:mod:`repro.validate.differential`) runs
   metamorphic checks over the production code paths — determinism,
-  parallel == serial, discard == source suppression, epoch invariance, a
-  clean invariant pass per (workload × policy), and mutation detection via
-  :func:`reintroduce_stale_mshr_bug` — exposed as the ``repro validate``
-  subcommand.
+  parallel == serial, discard == source suppression, epoch invariance,
+  packed == generator, a clean invariant pass per (workload × policy), and
+  mutation detection via :func:`reintroduce_stale_mshr_bug` — exposed as
+  the ``repro validate`` subcommand.
 """
 
 from repro.validate.differential import (
     CheckOutcome,
+    check_packed_matches_generator,
     result_diff,
     run_validation_suite,
 )
@@ -24,6 +25,7 @@ from repro.validate.mutation import reintroduce_stale_mshr_bug
 
 __all__ = [
     "CheckOutcome",
+    "check_packed_matches_generator",
     "InvariantChecker",
     "InvariantViolation",
     "reintroduce_stale_mshr_bug",

@@ -16,6 +16,9 @@ field by field:
 * **epoch invariance** — for epoch-independent policies (discard, permit),
   changing ``epoch_instructions`` must not change any counter: epoch ends
   are bookkeeping, not events;
+* **packed-vs-generator** — driving through the packed-trace fast path
+  (``SimConfig(packed=True)``) is bit-identical to the generator drive
+  loop for every fuzz prefetcher under discard and DRIPPER;
 * **invariants-clean** — every (workload × policy) run passes a full
   :class:`~repro.validate.InvariantChecker` pass with zero violations;
 * **mutation detection** — re-introducing the fixed stale-MSHR bug via
@@ -218,6 +221,34 @@ def check_epoch_invariance(workload_name: str, *, prefetcher: str,
     )
 
 
+def check_packed_matches_generator(workload_name: str, *, warmup: int,
+                                   sim: int) -> list[CheckOutcome]:
+    """The packed fast path equals the generator drive loop bit-for-bit.
+
+    Covers every fuzz prefetcher under both a static policy (discard) and
+    the epoch-adaptive one (dripper) — the two exercise disjoint sets of
+    fused branches (DRIPPER reads the in-flight-miss feature and flips
+    decisions at epoch boundaries, which forces the fast path through its
+    ``step()`` fallback seam).
+    """
+    workload = by_name(workload_name)
+    outcomes = []
+    for prefetcher in _FUZZ_PREFETCHERS:
+        for policy in ("discard", "dripper"):
+            spec = _spec(prefetcher, policy, warmup, sim)
+            generator = simulate(workload, spec.config_for(workload))
+            packed = simulate(workload, replace(spec.config_for(workload), packed=True))
+            diffs = result_diff(generator, packed)
+            name = f"packed-vs-generator[{workload_name}/{prefetcher}/{policy}]"
+            if diffs:
+                outcomes.append(CheckOutcome(name, False, _summarise(diffs)))
+            else:
+                outcomes.append(CheckOutcome(
+                    name, True, f"identical at ipc {generator.ipc:.3f}"
+                ))
+    return outcomes
+
+
 def check_invariants_clean(workload_names: Sequence[str], *, policies: Sequence[str],
                            prefetcher: str, warmup: int, sim: int) -> list[CheckOutcome]:
     """Every (workload x policy) run passes a full invariant pass."""
@@ -309,6 +340,8 @@ def run_validation_suite(
                                             warmup=warmup, sim=sim))
     record(check_epoch_invariance(anchor, prefetcher=prefetcher,
                                   warmup=warmup, sim=sim))
+    for outcome in check_packed_matches_generator(anchor, warmup=warmup, sim=sim):
+        record(outcome)
     for outcome in check_invariants_clean(workload_names, policies=policies,
                                           prefetcher=prefetcher, warmup=warmup, sim=sim):
         record(outcome)

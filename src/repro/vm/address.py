@@ -83,6 +83,10 @@ def pt_tag(vaddr: int, level: int) -> int:
     return vaddr >> shift
 
 
+#: mask implementing :func:`canonical`, for hot loops that inline it
+VA_MASK = (1 << VA_BITS) - 1
+
+
 def canonical(addr: int) -> int:
     """Clamp an address to the 48-bit simulated virtual address space."""
-    return addr & ((1 << VA_BITS) - 1)
+    return addr & VA_MASK

@@ -38,19 +38,29 @@ class Tlb:
     def lookup(self, vaddr: int, *, speculative: bool = False) -> Optional[Translation]:
         """Probe for a translation.  Speculative probes don't perturb stats/LRU."""
         self._tick += 1
-        for shift in (PAGE_4K_SHIFT, PAGE_2M_SHIFT):
-            vpn = vaddr >> shift
-            entry = self._sets[vpn & self._set_mask].get((vpn, shift))
-            if entry is not None:
-                if not speculative:
-                    self.stats.record(True)
-                    entry[1] = self._tick
-                    if entry[2]:
-                        self.prefetch_hits += 1
-                        entry[2] = False
-                return Translation(vpn, entry[0], shift)
+        # unrolled over the two page sizes (hot path)
+        sets, mask = self._sets, self._set_mask
+        vpn = vaddr >> PAGE_4K_SHIFT
+        shift = PAGE_4K_SHIFT
+        entry = sets[vpn & mask].get((vpn, shift))
+        if entry is None:
+            vpn = vaddr >> PAGE_2M_SHIFT
+            shift = PAGE_2M_SHIFT
+            entry = sets[vpn & mask].get((vpn, shift))
+        if entry is not None:
+            if not speculative:
+                stats = self.stats
+                stats.accesses += 1
+                stats.hits += 1
+                entry[1] = self._tick
+                if entry[2]:
+                    self.prefetch_hits += 1
+                    entry[2] = False
+            return Translation(vpn, entry[0], shift)
         if not speculative:
-            self.stats.record(False)
+            stats = self.stats
+            stats.accesses += 1
+            stats.misses += 1
         return None
 
     def insert(self, translation: Translation, *, from_prefetch: bool = False) -> None:
@@ -63,7 +73,14 @@ class Tlb:
             existing[1] = self._tick
             return
         if len(tset) >= self._ways:
-            victim_key = min(tset, key=lambda k: tset[k][1])
+            # manual scan (min() with a closure is hot); strict < keeps
+            # min()'s first-minimum tie-breaking
+            victim_key = None
+            victim_tick = None
+            for k, e in tset.items():
+                if victim_tick is None or e[1] < victim_tick:
+                    victim_tick = e[1]
+                    victim_key = k
             victim = tset.pop(victim_key)
             if victim[2]:
                 self.prefetch_evicted_unused += 1

@@ -9,6 +9,7 @@ from repro.workloads.registry import (
     stratified_sample,
     unseen_workloads,
 )
+from repro.workloads.packed import PackedTrace, PackedWorkload, clear_pack_cache, get_packed
 from repro.workloads.synthetic import SyntheticWorkload
 from repro.workloads.trace import BRANCH, DEPENDS, LOAD, MISPREDICT, STORE, TAKEN, Record, Workload
 from repro.workloads.trace_io import (
@@ -17,6 +18,7 @@ from repro.workloads.trace_io import (
     convert_champsim,
     read_champsim,
     read_trace,
+    read_trace_header,
     snapshot_workload,
     write_trace,
 )
@@ -29,6 +31,10 @@ __all__ = [
     "seen_workloads",
     "stratified_sample",
     "unseen_workloads",
+    "PackedTrace",
+    "PackedWorkload",
+    "clear_pack_cache",
+    "get_packed",
     "SyntheticWorkload",
     "BRANCH",
     "DEPENDS",
@@ -43,6 +49,7 @@ __all__ = [
     "convert_champsim",
     "read_champsim",
     "read_trace",
+    "read_trace_header",
     "snapshot_workload",
     "write_trace",
 ]

@@ -1,0 +1,177 @@
+"""Packed trace buffers: materialise a workload once, replay it many times.
+
+A :class:`PackedTrace` holds a finite prefix of a workload's record stream as
+four flat ``array`` columns (pc ``u64``, vaddr ``u64``, flags ``u16``, gap
+``u32`` — the same widths the native on-disk format uses).  Packing runs the
+generator exactly once; every subsequent replay iterates plain C arrays, so
+the per-record cost of pattern state machines and seeded RNG draws is paid a
+single time per (workload, window) instead of once per simulation.
+
+The packed window mirrors the drive loop's measurement semantics precisely:
+records are buffered until the measured region — which starts at the first
+record boundary *at or after* ``warmup`` instructions — spans ``sim``
+instructions.  A packed trace is therefore always long enough for
+:func:`repro.cpu.fastpath.drive_packed` (and for :func:`repro.cpu.simulator.drive`
+over its replay), including the warm-up-overshoot case, without guessing a
+slack margin.
+
+:func:`get_packed` adds a small process-wide cache keyed by workload identity
+and window, which is what lets the grid cells of
+:mod:`repro.experiments.parallel` share one materialisation across every
+(prefetcher × policy) cell of the same workload.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from repro.workloads.trace import Record, Workload
+
+#: process-wide pack cache capacity (packs are ~22 bytes/record; the default
+#: 80k-instruction window is ~0.5 MB, so 32 entries stay well under 32 MB)
+_CACHE_CAPACITY = 32
+
+
+class PackedTrace:
+    """A finite, column-packed prefix of one workload's trace."""
+
+    __slots__ = ("name", "suite", "pcs", "vaddrs", "flags", "gaps",
+                 "instructions", "warmup", "sim", "complete")
+
+    def __init__(self, name: str, suite: str, pcs: array, vaddrs: array,
+                 flags: array, gaps: array, *, warmup: int, sim: int,
+                 instructions: int, complete: bool):
+        self.name = name
+        self.suite = suite
+        self.pcs = pcs
+        self.vaddrs = vaddrs
+        self.flags = flags
+        self.gaps = gaps
+        #: total instructions the packed records account for (incl. gaps)
+        self.instructions = instructions
+        #: the (warmup, sim) window this pack was sized for
+        self.warmup = warmup
+        self.sim = sim
+        #: False when the source trace ended before the window was covered
+        #: (finite trace shorter than warm-up + measured region)
+        self.complete = complete
+
+    @classmethod
+    def from_workload(cls, workload: Workload, warmup: int, sim: int) -> "PackedTrace":
+        """Materialise enough of ``workload`` to cover warm-up + measurement.
+
+        Replicates the drive loop's boundary logic: measurement begins at the
+        first record boundary at or after ``warmup`` instructions, and the
+        pack ends at the first record boundary at or after ``sim`` measured
+        instructions — so a replay can never run dry mid-window even when a
+        record's gap overshoots the warm-up boundary.
+        """
+        pcs = array("Q")
+        vaddrs = array("Q")
+        flags = array("H")
+        gaps = array("I")
+        append_pc = pcs.append
+        append_va = vaddrs.append
+        append_fl = flags.append
+        append_gap = gaps.append
+        total = 0
+        measure_start: Optional[int] = None
+        complete = False
+        for pc, vaddr, flag, gap in workload.generate():
+            append_pc(pc)
+            append_va(vaddr)
+            append_fl(flag)
+            append_gap(gap)
+            total += 1 + gap
+            if measure_start is None and total >= warmup:
+                measure_start = total
+            if measure_start is not None and total - measure_start >= sim:
+                complete = True
+                break
+        return cls(
+            workload.name, getattr(workload, "suite", "PACKED"),
+            pcs, vaddrs, flags, gaps,
+            warmup=warmup, sim=sim, instructions=total, complete=complete,
+        )
+
+    def __len__(self) -> int:
+        """Number of packed records."""
+        return len(self.pcs)
+
+    def records(self) -> Iterator[Record]:
+        """Iterate the packed records as plain ``(pc, vaddr, flags, gap)``."""
+        return zip(self.pcs, self.vaddrs, self.flags, self.gaps)
+
+    def replay(self) -> "PackedWorkload":
+        """Wrap this pack as a restartable :class:`Workload`."""
+        return PackedWorkload(self)
+
+    def nbytes(self) -> int:
+        """Approximate buffer size in bytes (the four columns)."""
+        return sum(col.itemsize * len(col)
+                   for col in (self.pcs, self.vaddrs, self.flags, self.gaps))
+
+
+class PackedWorkload:
+    """A :class:`Workload` replaying a :class:`PackedTrace`.
+
+    Unlike the infinite synthetic generators, the replay is finite: it ends
+    with the pack, which covers exactly the (warmup, sim) window the pack was
+    built for.  Driving it with a larger window raises the drive loop's
+    normal truncation error.
+    """
+
+    def __init__(self, packed: PackedTrace):
+        self.packed = packed
+        self.name = packed.name
+        self.suite = packed.suite
+
+    def generate(self) -> Iterator[Record]:
+        """Fresh iterator over the packed records (restartable)."""
+        return self.packed.records()
+
+
+def _pack_key(workload: Workload, warmup: int, sim: int) -> tuple:
+    """Identity key for the pack cache.
+
+    Registry workloads are identified by (name, suite, seed) — the registry
+    builds each exactly once per process and generation is seed-deterministic.
+    File-backed workloads key on their path; anything else falls back to the
+    object id, which is safe (never stale) but only hits while the caller
+    holds the same object.
+    """
+    seed = getattr(workload, "seed", None)
+    path = getattr(workload, "path", None)
+    if seed is None and path is None:
+        return (id(workload), warmup, sim)
+    return (type(workload).__name__, workload.name,
+            getattr(workload, "suite", ""), seed, str(path), warmup, sim)
+
+
+_PACK_CACHE: OrderedDict[tuple, PackedTrace] = OrderedDict()
+
+
+def get_packed(workload: Workload, warmup: int, sim: int) -> PackedTrace:
+    """Return a (cached) :class:`PackedTrace` covering the given window.
+
+    The cache is process-wide and LRU-bounded; worker processes of a parallel
+    grid each build their own (the arrays are picklable, but shipping them
+    per cell would cost more than re-packing once per worker).
+    """
+    key = _pack_key(workload, warmup, sim)
+    packed = _PACK_CACHE.get(key)
+    if packed is not None:
+        _PACK_CACHE.move_to_end(key)
+        return packed
+    packed = PackedTrace.from_workload(workload, warmup, sim)
+    _PACK_CACHE[key] = packed
+    while len(_PACK_CACHE) > _CACHE_CAPACITY:
+        _PACK_CACHE.popitem(last=False)
+    return packed
+
+
+def clear_pack_cache() -> None:
+    """Drop every cached pack (tests and memory-pressure escape hatch)."""
+    _PACK_CACHE.clear()

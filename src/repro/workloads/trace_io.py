@@ -45,11 +45,28 @@ def _open(path: str | Path, mode: str):
 # native format
 
 
+def _encode_name(name: str) -> bytes:
+    """UTF-8 encode a workload name into the 32-byte header field.
+
+    A naive ``encode()[:32]`` can cut through a multi-byte UTF-8 sequence,
+    producing a header the reader cannot decode (UnicodeDecodeError on a
+    trace we wrote ourselves).  Back the cut off past any continuation bytes
+    so the truncation always lands on a character boundary.
+    """
+    raw = name.encode()
+    if len(raw) > 32:
+        cut = 32
+        while cut > 0 and (raw[cut] & 0xC0) == 0x80:
+            cut -= 1
+        raw = raw[:cut]
+    return raw.ljust(32, b"\0")
+
+
 def write_trace(records: Iterable[Record], path: str | Path, *, name: str = "") -> int:
     """Write records to a native trace file; returns the record count."""
     count = 0
     with _open(path, "wb") as fh:
-        fh.write(_HEADER.pack(_MAGIC, _VERSION, 0, name.encode()[:32].ljust(32, b"\0")))
+        fh.write(_HEADER.pack(_MAGIC, _VERSION, 0, _encode_name(name)))
         pack = _RECORD.pack
         for pc, vaddr, flags, gap in records:
             fh.write(pack(pc, vaddr, flags, gap))
@@ -57,18 +74,42 @@ def write_trace(records: Iterable[Record], path: str | Path, *, name: str = "") 
     return count
 
 
+def _read_header(fh, path) -> str:
+    """Parse the native header from an open stream; returns the name.
+
+    Closes the stream before raising on a malformed header.
+    """
+    header = fh.read(_HEADER.size)
+    try:
+        magic, version, _, raw_name = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise ValueError(f"{path}: not a native trace file (bad magic {magic!r})")
+        if version != _VERSION:
+            raise ValueError(f"{path}: unsupported trace version {version}")
+        return raw_name.rstrip(b"\0").decode()
+    except Exception:
+        fh.close()
+        raise
+
+
+def read_trace_header(path: str | Path) -> str:
+    """Read just the workload name from a native trace, closing the file.
+
+    Header-only callers (e.g. :class:`FileWorkload` construction) must use
+    this instead of discarding :func:`read_trace`'s iterator: the iterator is
+    a generator whose ``with fh:`` body never runs unless iterated, so
+    dropping it leaks the open file handle until GC.
+    """
+    fh = _open(path, "rb")
+    name = _read_header(fh, path)
+    fh.close()
+    return name
+
+
 def read_trace(path: str | Path) -> tuple[str, Iterator[Record]]:
     """Open a native trace; returns (workload name, record iterator)."""
     fh = _open(path, "rb")
-    header = fh.read(_HEADER.size)
-    magic, version, _, raw_name = _HEADER.unpack(header)
-    if magic != _MAGIC:
-        fh.close()
-        raise ValueError(f"{path}: not a native trace file (bad magic {magic!r})")
-    if version != _VERSION:
-        fh.close()
-        raise ValueError(f"{path}: unsupported trace version {version}")
-    name = raw_name.rstrip(b"\0").decode()
+    name = _read_header(fh, path)
 
     def records() -> Iterator[Record]:
         unpack = _RECORD.unpack
@@ -89,7 +130,9 @@ class FileWorkload:
     def __init__(self, path: str | Path, suite: str = "FILE"):
         self.path = Path(path)
         self.suite = suite
-        name, _ = read_trace(self.path)
+        # header-only read: read_trace would hand back a generator owning an
+        # open handle, which construction has no reason to start draining
+        name = read_trace_header(self.path)
         self.name = name or self.path.stem
 
     def generate(self) -> Iterator[Record]:
@@ -141,6 +184,7 @@ class ChampsimWorkload:
         size = _CHAMPSIM.size
         gap = 0
         pending_branch = 0
+        pending_ip = 0
         with _open(self.path, "rb") as fh:
             while True:
                 chunk = fh.read(size)
@@ -151,7 +195,16 @@ class ChampsimWorkload:
                 dst_mem = fields[9:11]
                 src_mem = fields[11:15]
                 if is_branch:
+                    if pending_branch:
+                        # two consecutive memory-free branches: emit the first
+                        # as a standalone record instead of overwriting it, so
+                        # its direction still reaches the branch predictor.
+                        # The branch instruction is already counted inside
+                        # `gap`, so the record re-spends gap-1 of it.
+                        yield pending_ip, 0, pending_branch, gap - 1 if gap else 0
+                        gap = 0
                     pending_branch = BRANCH | (TAKEN if taken else 0)
+                    pending_ip = ip
                 emitted = False
                 for vaddr in src_mem:
                     if vaddr:

@@ -60,6 +60,38 @@ class TestInstructionSide:
         assert e.system_state.l1i_mpki > 0
 
 
+class TestStraightLineRunClamp:
+    def record_ifetches(self, engine):
+        fetched = []
+        real = engine._mem_ifetch
+
+        def recording(paddr, t):
+            fetched.append(paddr)
+            return real(paddr, t)
+
+        engine._mem_ifetch = recording
+        return fetched
+
+    def test_gap_run_clamped_at_page_boundary(self):
+        # pc sits in the last line of its 4 KB page, so a long gap's
+        # straight-line code run has zero room: the translation only covers
+        # this page, and the old unclamped run fetched up to 8 lines into a
+        # physical frame the translation never mapped
+        e = make_engine()
+        fetched = self.record_ifetches(e)
+        e.step(0x400000 + 0xFC0, 0x1000, LOAD, 200)
+        frames = {paddr >> 12 for paddr in fetched}
+        assert len(frames) == 1
+
+    def test_gap_run_within_page_still_fetches_extra_lines(self):
+        # mid-page, the run proceeds (clamped at 8 lines) without crossing
+        e = make_engine()
+        fetched = self.record_ifetches(e)
+        e.step(0x400000, 0x1000, LOAD, 200)
+        assert len(fetched) == 9  # base line + 8 extra
+        assert {paddr >> 12 for paddr in fetched} == {fetched[0] >> 12}
+
+
 class TestEpochBookkeeping:
     def test_ipc_tracked_per_epoch(self):
         e = make_engine(epoch=128)

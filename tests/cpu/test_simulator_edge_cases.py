@@ -40,6 +40,39 @@ class TestShortTraces:
         assert result.instructions >= 500
 
 
+class HighGapWorkload:
+    """Every record spans 1000 instructions (gap overshoot edge cases)."""
+
+    name = "highgap"
+    suite = "TEST"
+
+    def generate(self):
+        for i in range(60):
+            yield 0x400, 0x1000 + (i % 8) * 64, 1, 999
+
+
+class TestMeasurementWindow:
+    def test_gap_overshoot_still_measures_full_region(self):
+        # warm-up ends at the first record boundary >= 1500, which the
+        # 1000-instruction records overshoot to 2000; the drive loop must
+        # keep going until the *measured* region spans sim_instructions
+        # (the old loop broke at the raw warmup+sim total and silently
+        # under-measured by the overshoot)
+        config = SimConfig(
+            policy_factory=DiscardPgc, warmup_instructions=1_500, sim_instructions=3_000
+        )
+        result = simulate(HighGapWorkload(), config)
+        assert result.instructions >= 3_000
+
+    def test_gap_overshoot_matches_packed_path(self):
+        config = SimConfig(
+            policy_factory=DiscardPgc, warmup_instructions=1_500, sim_instructions=3_000,
+            packed=True,
+        )
+        result = simulate(HighGapWorkload(), config)
+        assert result.instructions >= 3_000
+
+
 class TestConfigVariants:
     def make_workload(self):
         return SyntheticWorkload(

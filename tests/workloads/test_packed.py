@@ -1,0 +1,124 @@
+"""Packed trace buffers: generator equality, window sizing, caching, replay."""
+
+import pytest
+
+from repro.core.policies import DiscardPgc
+from repro.cpu.simulator import SimConfig, simulate
+from repro.validate import result_diff
+from repro.workloads import by_name
+from repro.workloads.packed import (
+    PackedTrace,
+    PackedWorkload,
+    clear_pack_cache,
+    get_packed,
+)
+from repro.workloads.trace_io import FileWorkload, snapshot_workload
+
+
+class HighGapWorkload:
+    """Records whose gaps overshoot the warm-up boundary (window edge case)."""
+
+    name = "highgap"
+    suite = "TEST"
+
+    def __init__(self, records=60, gap=999):
+        self.records = records
+        self.gap = gap
+
+    def generate(self):
+        for i in range(self.records):
+            yield 0x400, 0x1000 + (i % 8) * 64, 1, self.gap
+
+
+class TestPackedTrace:
+    def test_records_match_generator_prefix(self):
+        w = by_name("astar")
+        packed = PackedTrace.from_workload(w, 2_000, 6_000)
+        gen = w.generate()
+        assert len(packed) > 0
+        for record in packed.records():
+            assert record == tuple(next(gen))
+
+    def test_packing_is_deterministic(self):
+        w = by_name("astar")
+        a = PackedTrace.from_workload(w, 2_000, 6_000)
+        b = PackedTrace.from_workload(w, 2_000, 6_000)
+        assert a.pcs == b.pcs
+        assert a.vaddrs == b.vaddrs
+        assert a.flags == b.flags
+        assert a.gaps == b.gaps
+
+    def test_window_covers_warmup_overshoot(self):
+        # each record spans 1000 instructions, so the warm-up boundary is
+        # overshot by 500: measurement starts at 2000, not 1500, and the
+        # pack must reach 2000 + sim, not warmup + sim
+        w = HighGapWorkload()
+        packed = PackedTrace.from_workload(w, 1_500, 3_000)
+        assert packed.complete
+        assert packed.instructions >= 2_000 + 3_000
+
+    def test_incomplete_pack_flagged(self):
+        packed = PackedTrace.from_workload(HighGapWorkload(records=3), 1_500, 9_000)
+        assert not packed.complete
+
+    def test_replay_is_restartable(self):
+        packed = PackedTrace.from_workload(by_name("astar"), 1_000, 2_000)
+        replay = packed.replay()
+        assert isinstance(replay, PackedWorkload)
+        assert list(replay.generate()) == list(replay.generate())
+
+    def test_snapshot_pack_roundtrip(self, tmp_path):
+        # snapshot to the native on-disk format, reload, pack: the packed
+        # columns must reproduce the file's records exactly
+        path = tmp_path / "snap.rptr"
+        snapshot_workload(by_name("hmmer"), path, instructions=4_000)
+        w = FileWorkload(path)
+        packed = PackedTrace.from_workload(w, 500, 2_000)
+        assert list(packed.records()) == list(w.generate())[: len(packed)]
+
+
+class TestPackCache:
+    def test_get_packed_caches_by_window(self):
+        clear_pack_cache()
+        w = by_name("astar")
+        first = get_packed(w, 1_000, 2_000)
+        assert get_packed(w, 1_000, 2_000) is first
+        assert get_packed(w, 1_000, 3_000) is not first
+        clear_pack_cache()
+        assert get_packed(w, 1_000, 2_000) is not first
+
+
+class TestPackedSimulation:
+    def test_packed_drive_matches_generator(self):
+        w = by_name("astar")
+        base = SimConfig(
+            policy_factory=DiscardPgc, warmup_instructions=4_000, sim_instructions=10_000
+        )
+        packed = SimConfig(
+            policy_factory=DiscardPgc, warmup_instructions=4_000, sim_instructions=10_000,
+            packed=True,
+        )
+        assert result_diff(simulate(w, base), simulate(w, packed)) == {}
+
+    def test_packed_drive_matches_generator_high_gap(self):
+        # gap overshoot exercises the fast path's epoch/measurement seams
+        base = SimConfig(
+            policy_factory=DiscardPgc, warmup_instructions=1_500, sim_instructions=3_000
+        )
+        packed = SimConfig(
+            policy_factory=DiscardPgc, warmup_instructions=1_500, sim_instructions=3_000,
+            packed=True,
+        )
+        gen_result = simulate(HighGapWorkload(), base)
+        packed_result = simulate(HighGapWorkload(), packed)
+        assert result_diff(gen_result, packed_result) == {}
+
+    def test_packed_replay_through_generator_drive_matches(self):
+        # a PackedWorkload pushed through the *generator* drive loop must
+        # also reproduce the original run (the pack is a faithful prefix)
+        w = by_name("astar")
+        config = SimConfig(
+            policy_factory=DiscardPgc, warmup_instructions=2_000, sim_instructions=6_000
+        )
+        packed = get_packed(w, 2_000, 6_000)
+        assert result_diff(simulate(w, config), simulate(packed.replay(), config)) == {}

@@ -1,6 +1,8 @@
 """Trace file I/O: native format round-trips and ChampSim import."""
 
+import gc
 import struct
+import warnings
 
 import pytest
 
@@ -48,6 +50,37 @@ class TestNativeFormat:
         w = FileWorkload(path)
         assert w.name == "demo"
         assert list(w.generate()) == list(w.generate()) == RECORDS
+
+    def test_multibyte_name_truncates_on_character_boundary(self, tmp_path):
+        # 31 ASCII bytes + a 2-byte character: byte 32 lands mid-character,
+        # which a naive encode()[:32] would cut through, leaving a header
+        # the reader cannot decode
+        path = tmp_path / "t.rptr"
+        name = "a" * 31 + "é"
+        write_trace(RECORDS, path, name=name)
+        loaded_name, records = read_trace(path)
+        assert loaded_name == "a" * 31
+        assert list(records) == RECORDS
+
+    def test_wide_character_name_truncates_cleanly(self, tmp_path):
+        # 3-byte characters: 32 bytes falls inside the 11th character, so
+        # the cut must back off to the 10-character (30-byte) boundary
+        path = tmp_path / "t.rptr"
+        write_trace(RECORDS, path, name="✓" * 12)
+        loaded_name, _ = read_trace(path)
+        assert loaded_name == "✓" * 10
+
+    def test_file_workload_construction_emits_no_resource_warning(self, tmp_path):
+        # constructing a FileWorkload reads only the header; the old code
+        # obtained (and dropped) read_trace's record generator, whose open
+        # handle was then closed by the GC with a ResourceWarning
+        path = tmp_path / "t.rptr"
+        write_trace(RECORDS, path, name="demo")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            FileWorkload(path)
+            gc.collect()
+        assert not [w for w in caught if issubclass(w.category, ResourceWarning)]
 
     def test_snapshot_workload_bounds_instructions(self, tmp_path):
         path = tmp_path / "snap.rptr"
@@ -110,6 +143,37 @@ class TestChampsimImport:
         assert record[2] & BRANCH
         assert record[2] & TAKEN
         assert record[3] == 1
+
+    def test_consecutive_memory_free_branches_both_emitted(self, tmp_path):
+        # two memory-free branches in a row: the second used to overwrite
+        # the first's pending direction, silently dropping a branch from the
+        # predictor's training stream
+        path = self.write_trace(tmp_path, [
+            champsim_instr(0x10, branch=1, taken=1),
+            champsim_instr(0x20, branch=1, taken=0),
+            champsim_instr(0x30, src=[0x5000]),
+        ])
+        records = list(ChampsimWorkload(path).generate())
+        assert records == [
+            (0x10, 0, BRANCH | TAKEN, 0),
+            (0x30, 0x5000, LOAD | BRANCH, 1),
+        ]
+        # instruction count is conserved (3 instructions in, 3 accounted)
+        assert sum(1 + r[3] for r in records) == 3
+
+    def test_branch_run_conserves_instruction_count(self, tmp_path):
+        # a longer run of memory-free branches: every direction survives and
+        # the gap bookkeeping never double-spends an instruction
+        path = self.write_trace(tmp_path, [
+            champsim_instr(0x10, branch=1, taken=1),
+            champsim_instr(0x20, branch=1, taken=1),
+            champsim_instr(0x30, branch=1, taken=0),
+            champsim_instr(0x40, src=[0x6000]),
+        ])
+        records = list(ChampsimWorkload(path).generate())
+        assert [r[0] for r in records] == [0x10, 0x20, 0x40]
+        assert all(r[2] & BRANCH for r in records)
+        assert sum(1 + r[3] for r in records) == 4
 
     def test_multi_operand_instruction(self, tmp_path):
         path = self.write_trace(tmp_path, [
