@@ -9,13 +9,20 @@ two paths' :class:`SimResult`\\ s are diffed field by field with the
 differential-validation machinery and the script aborts on any mismatch —
 the speedup is only meaningful if the answers are bit-identical.
 
+``--grid`` additionally benchmarks whole-grid execution: the same
+(workload × policy) cell batch dispatched per-cell to a worker pool with
+per-worker packing (the historical parallel grid) versus the
+workload-affine scheduler replaying zero-copy shared-memory packs
+(``grid_session`` + ``run_cells(shm=True)``).  Both leg's results are
+diffed against a serial reference run before any timing is reported.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_hotloop.py \
         --workload astar --prefetchers berti ipcp bop \
-        --policies discard dripper --repeats 3
+        --policies discard dripper --repeats 3 --grid
 
-Writes a machine-readable summary (default ``BENCH_0004.json`` at the repo
+Writes a machine-readable summary (default ``BENCH_0005.json`` at the repo
 root) so perf regressions are diffable across commits.
 """
 
@@ -25,10 +32,18 @@ import argparse
 import gc
 import json
 import platform
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
 from time import perf_counter
 
 from repro.experiments import RunSpec, format_table
+from repro.experiments.parallel import (
+    _init_worker,
+    _run_chunk_worker,
+    cell_for,
+    grid_session,
+    run_cells,
+)
 from repro.validate import result_diff
 from repro.workloads import by_name, clear_pack_cache, get_packed
 from repro.cpu.simulator import simulate
@@ -127,6 +142,69 @@ def bench_cell(workload, spec: RunSpec, repeats: int) -> dict:
     }
 
 
+def _legacy_grid(cells, jobs: int):
+    """The pre-affine parallel grid: one task per cell, per-worker packing.
+
+    Reproduces the historical dispatch shape — a fresh pool, every cell its
+    own task, no shared pack store — so the grid benchmark compares the new
+    scheduler against what ``run_cells(jobs=N)`` actually did before.
+    """
+    results = [None] * len(cells)
+    with ProcessPoolExecutor(max_workers=jobs, initializer=_init_worker,
+                             initargs=(None, ())) as pool:
+        futures = [
+            pool.submit(_run_chunk_worker, [(i, cell)], (), False, False)
+            for i, cell in enumerate(cells)
+        ]
+        for future in as_completed(futures):
+            for i, result in future.result():
+                results[i] = result
+    return results
+
+
+def _shm_grid(cells, jobs: int):
+    """The shm + workload-affine grid (a fresh session per run, like a CLI call)."""
+    with grid_session(jobs, True):
+        return run_cells(cells, jobs=jobs, shm=True)
+
+
+def bench_grid(workloads, policies, prefetcher: str, warmup: int, sim: int,
+               jobs: int, repeats: int) -> dict:
+    """Time the whole grid both ways; assert both match a serial reference."""
+    spec = RunSpec(prefetcher=prefetcher, warmup_instructions=warmup,
+                   sim_instructions=sim)
+    cells = [cell_for(by_name(name), spec, policy=policy)
+             for name in workloads for policy in policies]
+    reference = run_cells(cells, jobs=1)
+
+    t_legacy, legacy_results, t_shm, shm_results, speedup = _best_of_interleaved(
+        repeats,
+        lambda: _legacy_grid(cells, jobs),
+        lambda: _shm_grid(cells, jobs),
+    )
+    for tag, results in (("legacy", legacy_results), ("shm", shm_results)):
+        for cell, got, want in zip(cells, results, reference):
+            diffs = result_diff(got, want)
+            if diffs:
+                parts = "; ".join(f"{k}: {a!r} != {b!r}" for k, (a, b) in diffs.items())
+                raise SystemExit(
+                    f"FAIL: {tag} grid diverged from serial for "
+                    f"{cell.workload}/{cell.policy}: {parts}"
+                )
+
+    return {
+        "workloads": list(workloads),
+        "policies": list(policies),
+        "prefetcher": prefetcher,
+        "cells": len(cells),
+        "jobs": jobs,
+        "legacy_seconds": t_legacy,
+        "shm_affine_seconds": t_shm,
+        #: median of per-pair wall-time ratios (see _best_of_interleaved)
+        "speedup": speedup,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workload", default="astar")
@@ -136,7 +214,15 @@ def main() -> int:
     parser.add_argument("--sim", type=int, default=60_000)
     parser.add_argument("--repeats", type=int, default=5,
                         help="take the best of N runs per path (default: 5)")
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_0004.json"),
+    parser.add_argument("--grid", action="store_true",
+                        help="also benchmark whole-grid execution: per-cell "
+                             "dispatch vs the shm + workload-affine scheduler")
+    parser.add_argument("--grid-workloads", nargs="+",
+                        default=["astar", "hmmer", "mcf", "lbm"])
+    parser.add_argument("--grid-jobs", type=int, default=2)
+    parser.add_argument("--grid-repeats", type=int, default=3,
+                        help="interleaved grid repeats (default: 3)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_0005.json"),
                         help="JSON summary path ('' to skip writing)")
     args = parser.parse_args()
 
@@ -173,6 +259,21 @@ def main() -> int:
         "python": platform.python_version(),
         "cells": cells,
     }
+
+    if args.grid:
+        grid = bench_grid(args.grid_workloads, args.policies,
+                          args.prefetchers[0], args.warmup, args.sim,
+                          args.grid_jobs, args.grid_repeats)
+        payload["grid"] = grid
+        print(format_table(
+            ["cells", "jobs", "per-cell dispatch", "shm + affine", "speedup"],
+            [(str(grid["cells"]), str(grid["jobs"]),
+              f"{grid['legacy_seconds']:.2f}s",
+              f"{grid['shm_affine_seconds']:.2f}s",
+              f"{grid['speedup']:.2f}x")],
+            f"grid: {len(grid['workloads'])} workloads x {len(grid['policies'])} "
+            f"policies, {args.prefetchers[0]} (best of {args.grid_repeats})",
+        ))
     if args.out:
         Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"\nwrote {args.out}")

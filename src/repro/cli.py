@@ -29,8 +29,10 @@ equality, per-run invariant passes, and mutation detection.
 (append-only JSONL run records), ``--profile`` (per-component wall-time
 breakdown of the hot paths), and ``--json`` (machine-readable stdout).
 ``compare`` and ``sweep`` additionally accept ``--jobs`` (process-pool grid
-execution) and ``--cache-dir`` (content-addressed result cache; unchanged
-cells are never re-simulated).
+execution), ``--cache-dir`` (content-addressed result cache; unchanged
+cells are never re-simulated), and ``--shm``/``--no-shm`` (share each
+workload's packed trace with the workers through shared memory instead of
+re-packing per worker; on by default whenever ``--jobs`` > 1).
 """
 
 from __future__ import annotations
@@ -190,10 +192,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
     cache = _make_cache(args)
     specs = [_spec(args, policy) for policy in args.policies]
     if args.jobs > 1 or cache is not None:
-        from repro.experiments.parallel import cell_for, run_cells
+        from repro.experiments.parallel import cell_for, grid_session, run_cells
 
         cells = [cell_for(workload, spec) for spec in specs]
-        results = run_cells(cells, jobs=args.jobs, cache=cache, obs=obs)
+        with grid_session(args.jobs, args.shm):
+            results = run_cells(cells, jobs=args.jobs, cache=cache, obs=obs,
+                                shm=args.shm)
     else:
         results = [run_one(workload, spec, obs=obs) for spec in specs]
     base = results[0]
@@ -244,7 +248,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     obs = _make_obs(args)
     cache = _make_cache(args)
-    common = dict(base_spec=spec, obs=obs, jobs=args.jobs, cache=cache)
+    common = dict(base_spec=spec, obs=obs, jobs=args.jobs, cache=cache, shm=args.shm)
     if args.param == "epoch":
         epoch_data = sweep_epoch_length(workloads, args.values, **common)
         data = {value: {"dripper": pct} for value, pct in epoch_data.items()}
@@ -433,6 +437,13 @@ def build_parser() -> argparse.ArgumentParser:
         g.add_argument("--cache-dir", metavar="DIR", default=None,
                        help="content-addressed result cache; unchanged cells are "
                             "served from disk instead of re-simulated")
+        shm = g.add_mutually_exclusive_group()
+        shm.add_argument("--shm", dest="shm", action="store_true", default=None,
+                         help="share packed traces with workers through "
+                              "shared memory (default when --jobs > 1)")
+        shm.add_argument("--no-shm", dest="shm", action="store_false",
+                         help="disable the shared-memory pack store; workers "
+                              "pack their own traces")
 
     def add_obs_args(p: argparse.ArgumentParser) -> None:
         g = p.add_argument_group("observability")

@@ -14,6 +14,26 @@ nest to a flat list of :class:`Cell`\\ s — picklable descriptions of one
   simulated — earlier in the same batch, in a previous call, or in a
   previous process — is served from disk instead of re-simulated.
 
+Scheduling is **workload-affine**: pending cells are grouped by workload
+identity and pack window, and each worker receives whole per-workload chunks
+— so it materialises (or shm-attaches) a workload's pack once and replays it
+across all of that workload's (prefetcher × policy × params) cells, instead
+of thrashing the pack cache by round-robining across workloads.
+
+With ``shm`` enabled (the default for ``jobs>1``) the parent packs each
+workload of the grid exactly once and publishes the columns through a
+:class:`~repro.workloads.shm.SharedPackStore`; chunks carry their workload's
+:class:`~repro.workloads.shm.PackHandle` and the workers replay zero-copy
+views instead of repacking per process.  Cells whose workload cannot be
+published (no cross-process identity, empty pack) simply run exactly as
+before — shm is a pure transport optimisation on top of the bit-identical
+packed fast path.
+
+:func:`grid_session` keeps one worker pool (and one pack store) alive across
+several ``run_cells`` batches — ``run_policies`` and the sweeps wrap their
+batches in it, so a multi-sweep grid forks once instead of once per sweep
+point.
+
 Determinism: a simulation is a pure function of (workload identity + seed,
 config) — trace generation, large-page allocation, and every replacement
 decision are seeded — so parallel results are identical to serial ones, and
@@ -21,9 +41,11 @@ cache hits are identical to re-runs (floats survive JSON round-trips
 exactly).
 
 Journaling under ``jobs>1``: the parent's :class:`RunJournal` holds a shared
-file handle that is not fork-safe, so each worker appends to its own JSONL
-shard (``shard-<pid>.jsonl`` in a temporary directory) and the parent merges
-the shards into its journal once the pool drains.  Per-cell grid coordinates
+file handle that is not fork-safe, so each worker chunk appends to its own
+JSONL shard (``shard-<pid>-<seq>.jsonl``, closed before the chunk returns)
+and the parent merges-and-consumes the shards into its journal once the
+batch drains — consuming is what keeps a persistent session's shard
+directory from double-counting earlier batches.  Per-cell grid coordinates
 travel *in the cell* (``Cell.context``), never by mutating a shared
 ``Observability`` — which is also what keeps the serial path's records free
 of stale coordinates.  Timelines and profiling probes are in-process
@@ -33,18 +55,22 @@ instruments and remain ``jobs=1`` only.
 from __future__ import annotations
 
 import os
+import shutil
 import tempfile
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional, Sequence
 
 from repro.cpu.simulator import SimConfig, SimResult, simulate
 from repro.experiments.cache import CACHE_SCHEMA, ResultCache, fingerprint
 from repro.experiments.runner import RunSpec, policy_factory
 from repro.obs.journal import describe_config, describe_workload
 from repro.params import SystemParams
+from repro.workloads.packed import clear_pack_cache
 from repro.workloads.registry import by_name
+from repro.workloads.shm import PackHandle, SharedPackStore, install_attachments
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
@@ -143,10 +169,18 @@ def cell_fingerprint(cell: Cell, workload: Optional[Any] = None) -> str:
     })
 
 
-def execute_cell(cell: Cell, *, obs: Optional["Observability"] = None) -> SimResult:
-    """Run one cell in the current process (the `jobs=1` path)."""
+def execute_cell(cell: Cell, *, obs: Optional["Observability"] = None,
+                 force_packed: bool = False) -> SimResult:
+    """Run one cell in the current process (the `jobs=1` path).
+
+    ``force_packed`` routes the run through the packed fast path regardless
+    of the spec (bit-identical by contract) — set for cells whose chunk
+    shipped an shm pack handle, so the worker replays the attached view.
+    """
     workload = cell.resolve_workload()
     config = build_config(cell, workload)
+    if force_packed and not config.packed:
+        config.packed = True
     if obs is not None:
         with obs.scoped(spec=asdict(cell.spec), **(cell.context or {})):
             return simulate(workload, config, obs=obs)
@@ -157,34 +191,147 @@ def execute_cell(cell: Cell, *, obs: Optional["Observability"] = None) -> SimRes
 # worker side (module-level so both fork and spawn start methods can pickle it)
 
 _WORKER_SHARD_DIR: Optional[str] = None
-_WORKER_OBS: Optional["Observability"] = None
+_WORKER_SEQ = 0
 
 
-def _init_worker(shard_dir: Optional[str]) -> None:
-    global _WORKER_SHARD_DIR, _WORKER_OBS
+def _init_worker(shard_dir: Optional[str], handles: Sequence[PackHandle] = ()) -> None:
+    global _WORKER_SHARD_DIR, _WORKER_SEQ
     _WORKER_SHARD_DIR = shard_dir
-    _WORKER_OBS = None
+    _WORKER_SEQ = 0
+    # a forked worker inherits the parent's pack-cache buffers but would
+    # repack on first miss anyway (nothing keeps the inherited entries warm
+    # across COW); drop them so worker RSS doesn't double
+    clear_pack_cache()
+    if handles:
+        install_attachments(handles)
 
 
-def _worker_obs() -> Optional["Observability"]:
-    """Lazily open this worker's journal shard (one file per process)."""
-    global _WORKER_OBS
+def _chunk_obs() -> Optional["Observability"]:
+    """A fresh journal shard for one chunk (closed before the chunk returns).
+
+    Per-chunk (not per-process) shards let a persistent session merge *and
+    delete* shards after every batch: a long-lived per-process file would
+    still be held open by the worker when the parent consumed it.
+    """
+    global _WORKER_SEQ
     if _WORKER_SHARD_DIR is None:
         return None
-    if _WORKER_OBS is None:
-        from repro.obs import Observability, RunJournal
+    from repro.obs import Observability, RunJournal
 
-        shard = Path(_WORKER_SHARD_DIR) / f"shard-{os.getpid()}.jsonl"
-        _WORKER_OBS = Observability(journal=RunJournal(shard))
-    return _WORKER_OBS
+    _WORKER_SEQ += 1
+    shard = Path(_WORKER_SHARD_DIR) / f"shard-{os.getpid():08d}-{_WORKER_SEQ:06d}.jsonl"
+    return Observability(journal=RunJournal(shard))
 
 
-def _run_cell_worker(index: int, cell: Cell) -> tuple[int, SimResult]:
-    return index, execute_cell(cell, obs=_worker_obs())
+def _run_chunk_worker(
+    items: Sequence[tuple[int, Cell]],
+    handles: Sequence[PackHandle],
+    use_journal: bool,
+    force_packed: bool,
+) -> list[tuple[int, SimResult]]:
+    """Run one workload-affine chunk of cells in this worker process."""
+    if handles:
+        # the chunk's pack may have been published after this pool started,
+        # so handles ride with the chunk (registering twice is a no-op)
+        install_attachments(handles)
+    obs = _chunk_obs() if use_journal else None
+    try:
+        return [(i, execute_cell(cell, obs=obs, force_packed=force_packed))
+                for i, cell in items]
+    finally:
+        if obs is not None:
+            obs.close()
 
 
 # ---------------------------------------------------------------------------
-# parent side
+# parent side: grid sessions (persistent pool + shared pack store)
+
+
+class _GridSession:
+    """One worker pool + pack store + shard dir, reusable across batches."""
+
+    def __init__(self, jobs: int, shm: bool):
+        self.jobs = jobs
+        self.shm = shm
+        self.store: Optional[SharedPackStore] = SharedPackStore() if shm else None
+        self.shard_dir = tempfile.mkdtemp(prefix="repro-shards-")
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def pool(self) -> ProcessPoolExecutor:
+        """The (lazily forked) worker pool; initial handles ride along."""
+        if self._pool is None:
+            handles = tuple(self.store.handles()) if self.store is not None else ()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(self.shard_dir, handles),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down, unlink every shm segment, drop the shard dir."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        if self.store is not None:
+            self.store.close()
+        shutil.rmtree(self.shard_dir, ignore_errors=True)
+
+
+_SESSION: Optional[_GridSession] = None
+
+
+@contextmanager
+def grid_session(jobs: int = 1, shm: Optional[bool] = None) -> Iterator[Optional[_GridSession]]:
+    """Reuse one pool/pack store across every ``run_cells`` batch inside.
+
+    ``run_policies`` and the sweeps wrap their batches in this, so a grid
+    spanning several sweep points forks its workers once and publishes each
+    workload's pack once.  Nesting is a no-op (the outermost session wins),
+    as is ``jobs<=1``.  ``shm=None`` means "on for parallel runs".
+    """
+    global _SESSION
+    if _SESSION is not None or jobs <= 1:
+        yield _SESSION
+        return
+    session = _GridSession(jobs, shm if shm is not None else True)
+    _SESSION = session
+    try:
+        yield session
+    finally:
+        _SESSION = None
+        session.close()
+
+
+def _affine_groups(
+    cells: Sequence[Cell], pending: Sequence[int]
+) -> list[tuple[list[int], Any, int, int]]:
+    """Group pending cell indices by (workload identity, pack window).
+
+    Returns ``(indices, workload, warmup, sim)`` per group, in first-seen
+    order.  The window comes from each cell's *built* config (so per-suite
+    adjustments like QMM half-length windows are respected), which is also
+    exactly the window ``get_packed`` will be called with inside the run.
+    """
+    groups: dict[tuple, tuple[list[int], Any, int, int]] = {}
+    order: list[tuple] = []
+    for i in pending:
+        cell = cells[i]
+        workload = cell.resolve_workload()
+        config = build_config(cell, workload)
+        key = (
+            cell.workload,
+            id(cell.workload_obj) if cell.workload_obj is not None else None,
+            config.warmup_instructions,
+            config.sim_instructions,
+        )
+        group = groups.get(key)
+        if group is None:
+            groups[key] = group = ([], workload, config.warmup_instructions,
+                                   config.sim_instructions)
+            order.append(key)
+        group[0].append(i)
+    return [groups[key] for key in order]
 
 
 def run_cells(
@@ -194,6 +341,7 @@ def run_cells(
     cache: Optional[ResultCache] = None,
     obs: Optional["Observability"] = None,
     on_result: Optional[ResultHook] = None,
+    shm: Optional[bool] = None,
 ) -> list[SimResult]:
     """Execute a batch of cells; results come back in input order.
 
@@ -202,6 +350,10 @@ def run_cells(
     are served from the freshly written entry (they count as cache hits).
     Only simulated cells are journaled — the journal stays a log of actual
     simulations, while cache stats account for the saved ones.
+
+    ``shm=None`` enables the shared pack store whenever ``jobs>1`` (pass
+    ``False`` to force per-worker packing); inside a :func:`grid_session`
+    the session's setting wins.
     """
     cells = list(cells)
     if jobs < 1:
@@ -253,20 +405,44 @@ def run_cells(
                 "or pass an Observability bundle with just a journal"
             )
         journal = obs.journal if obs is not None else None
-        with tempfile.TemporaryDirectory(prefix="repro-shards-") as shard_dir:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(shard_dir if journal is not None else None,),
-            ) as pool:
-                futures = [pool.submit(_run_cell_worker, i, cells[i]) for i in pending]
-                for future in as_completed(futures):
-                    i, result = future.result()
+        session = _SESSION
+        ephemeral = session is None
+        if ephemeral:
+            session = _GridSession(workers, shm if shm is not None else True)
+        try:
+            groups = _affine_groups(cells, pending)
+            # split each workload's run into chunks small enough to load-
+            # balance, but never split a chunk across workloads
+            chunk_size = max(1, -(-len(pending) // (workers * 2)))
+            chunks: list[tuple[list[int], Optional[PackHandle]]] = []
+            for indices, workload, warmup, sim in groups:
+                handle = None
+                if session.store is not None:
+                    handle = session.store.publish(workload, warmup, sim)
+                for at in range(0, len(indices), chunk_size):
+                    chunks.append((indices[at:at + chunk_size], handle))
+            chunks.sort(key=lambda c: -len(c[0]))  # largest first
+            pool = session.pool()
+            futures = [
+                pool.submit(
+                    _run_chunk_worker,
+                    [(i, cells[i]) for i in piece],
+                    (handle,) if handle is not None else (),
+                    journal is not None,
+                    handle is not None,
+                )
+                for piece, handle in chunks
+            ]
+            for future in as_completed(futures):
+                for i, result in future.result():
                     finish(i, result)
             if journal is not None:
                 from repro.obs.journal import merge_shards
 
-                obs.runs += merge_shards(journal, shard_dir)
+                obs.runs += merge_shards(journal, session.shard_dir, consume=True)
+        finally:
+            if ephemeral:
+                session.close()
 
     missing = [i for i, r in enumerate(results) if r is None]
     if missing:  # pragma: no cover - defensive; every path above fills results

@@ -117,6 +117,7 @@ def run_many(
     obs: Optional["Observability"] = None,
     jobs: int = 1,
     cache: Optional["ResultCache"] = None,
+    shm: Optional[bool] = None,
 ) -> list[SimResult]:
     """Run a spec across workloads (optionally reporting per-run progress).
 
@@ -125,6 +126,8 @@ def run_many(
     :mod:`repro.experiments.parallel`); results always come back in workload
     order, identical to a serial run.  With parallel/cached execution,
     ``progress`` fires in completion order rather than input order.
+    ``shm=None`` shares packed traces through the zero-copy store whenever
+    ``jobs>1`` (``False`` forces per-worker packing).
     """
     if jobs == 1 and cache is None:
         results = []
@@ -135,7 +138,7 @@ def run_many(
                 progress(workload.name, result)
         return results
 
-    from repro.experiments.parallel import cell_for, run_cells
+    from repro.experiments.parallel import cell_for, grid_session, run_cells
 
     cells = [cell_for(workload, spec) for workload in workloads]
     on_result = None
@@ -145,7 +148,9 @@ def run_many(
         def on_result(index: int, result: SimResult, cached: bool) -> None:
             progress(names[index], result)
 
-    return run_cells(cells, jobs=jobs, cache=cache, obs=obs, on_result=on_result)
+    with grid_session(jobs, shm):
+        return run_cells(cells, jobs=jobs, cache=cache, obs=obs,
+                         on_result=on_result, shm=shm)
 
 
 def run_policies(
@@ -157,6 +162,7 @@ def run_policies(
     obs: Optional["Observability"] = None,
     jobs: int = 1,
     cache: Optional["ResultCache"] = None,
+    shm: Optional[bool] = None,
 ) -> dict[str, list[SimResult]]:
     """Run several policies over the same workloads; returns policy -> results.
 
@@ -164,7 +170,9 @@ def run_policies(
     given — a caller-supplied ``base_spec`` keeps its own prefetcher
     otherwise (it used to be silently clobbered with the default).  The
     whole (policy × workload) grid is dispatched as one batch, so ``jobs``
-    parallelises across policies as well as workloads.
+    parallelises across policies as well as workloads; workload-affine
+    scheduling keeps each worker replaying one (shared) pack across its
+    policies.
     """
     spec = base_spec or RunSpec(prefetcher=prefetcher or "berti")
     if prefetcher is not None:
@@ -176,14 +184,15 @@ def run_policies(
             for policy, policy_spec in policy_specs.items()
         }
 
-    from repro.experiments.parallel import cell_for, run_cells
+    from repro.experiments.parallel import cell_for, grid_session, run_cells
 
     cells = [
         cell_for(workload, policy_spec)
         for policy_spec in policy_specs.values()
         for workload in workloads
     ]
-    flat = run_cells(cells, jobs=jobs, cache=cache, obs=obs)
+    with grid_session(jobs, shm):
+        flat = run_cells(cells, jobs=jobs, cache=cache, obs=obs, shm=shm)
     n = len(workloads)
     return {
         policy: flat[i * n:(i + 1) * n]

@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.cpu.simulator import SimResult
 from repro.experiments.metrics import geomean_speedup, speedup_percent
-from repro.experiments.parallel import Cell, cell_for, run_cells
+from repro.experiments.parallel import Cell, cell_for, grid_session, run_cells
 from repro.experiments.runner import RunSpec
 from repro.params import DEFAULT_PARAMS, SystemParams, TlbParams
 from repro.workloads.synthetic import SyntheticWorkload
@@ -67,11 +67,14 @@ def sweep_parameter(
     obs: Optional["Observability"] = None,
     jobs: int = 1,
     cache: Optional["ResultCache"] = None,
+    shm: Optional[bool] = None,
 ) -> dict[int, dict[str, float]]:
     """Sweep one parameter; returns {value: {policy: geomean % over discard}}.
 
     With an observability bundle every cell's run is journaled, tagged with
-    its sweep coordinates (``context.sweep``) scoped to that cell.
+    its sweep coordinates (``context.sweep``) scoped to that cell.  The whole
+    sweep runs inside one :func:`grid_session`: the worker pool forks once
+    and every sweep point replays the same shared packs.
     """
     spec = base_spec or RunSpec(prefetcher=prefetcher)
     grid = [(value, policy) for value in values for policy in ("discard", *policies)]
@@ -87,7 +90,8 @@ def sweep_parameter(
             )
             for workload in workloads
         )
-    flat = run_cells(cells, jobs=jobs, cache=cache, obs=obs)
+    with grid_session(jobs, shm):
+        flat = run_cells(cells, jobs=jobs, cache=cache, obs=obs, shm=shm)
     n = len(workloads)
     results: dict[tuple[int, str], list[SimResult]] = {
         pair: flat[i * n:(i + 1) * n] for i, pair in enumerate(grid)
@@ -112,6 +116,7 @@ def sweep_epoch_length(
     obs: Optional["Observability"] = None,
     jobs: int = 1,
     cache: Optional["ResultCache"] = None,
+    shm: Optional[bool] = None,
 ) -> dict[int, float]:
     """Sensitivity of DRIPPER to the adaptive scheme's epoch length.
 
@@ -134,7 +139,8 @@ def sweep_epoch_length(
             )
             for workload in workloads
         )
-    flat = run_cells(cells, jobs=jobs, cache=cache, obs=obs)
+    with grid_session(jobs, shm):
+        flat = run_cells(cells, jobs=jobs, cache=cache, obs=obs, shm=shm)
     n = len(workloads)
     base_runs = flat[:n]
     return {

@@ -19,6 +19,7 @@ executes the exact unobserved hot path.
 
 from __future__ import annotations
 
+import logging
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator, Optional
@@ -40,6 +41,15 @@ from repro.obs.timeline import TIMELINE_FIELDS, TimelineRecorder
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cpu.core import CoreEngine
     from repro.cpu.simulator import SimConfig, SimResult
+
+#: lightweight structured-event channel for subsystems without a journal in
+#: hand (e.g. pack-cache evictions); opt in via standard logging config
+_LOG = logging.getLogger("repro.obs")
+
+
+def log_event(event: str, **fields: Any) -> None:
+    """Emit one structured event on the ``repro.obs`` logger (DEBUG level)."""
+    _LOG.debug("%s %s", event, fields)
 
 
 @dataclass
@@ -119,6 +129,7 @@ class Observability:
 
 __all__ = [
     "Observability",
+    "log_event",
     "TimelineRecorder",
     "TIMELINE_FIELDS",
     "RunJournal",

@@ -160,7 +160,8 @@ def read_journal(path: str | Path) -> list[dict[str, Any]]:
     return out
 
 
-def merge_shards(journal: RunJournal, shard_dir: str | Path, *, pattern: str = "*.jsonl") -> int:
+def merge_shards(journal: RunJournal, shard_dir: str | Path, *,
+                 pattern: str = "*.jsonl", consume: bool = False) -> int:
     """Merge per-worker shard files into a parent journal.
 
     ``RunJournal``'s shared file handle is not fork-safe, so parallel grid
@@ -169,10 +170,17 @@ def merge_shards(journal: RunJournal, shard_dir: str | Path, *, pattern: str = "
     order (record order *within* a shard is preserved; order *across*
     workers reflects scheduling, not grid order — every record carries its
     own ``context`` coordinates).  Returns the number of records merged.
+
+    With ``consume=True`` each shard file is deleted after its records are
+    folded in.  A persistent worker pool merges after every batch, so
+    leaving merged shards behind would double-count them on the next merge
+    from the same directory.
     """
     merged = 0
     for shard in sorted(Path(shard_dir).glob(pattern)):
         for rec in read_journal(shard):
             journal.append_record(rec)
             merged += 1
+        if consume:
+            shard.unlink()
     return merged

@@ -9,6 +9,9 @@ field by field:
   are all seeded);
 * **parallel-vs-serial** — a randomized batch of grid cells executed with
   ``jobs=N`` equals the same batch executed serially (``jobs=1``);
+* **shm-grid-vs-serial** — the same grid run through the zero-copy
+  shared-memory pack store (workers attach the parent's published packs)
+  equals serial execution, and no ``/dev/shm`` segment survives the run;
 * **discard-source equivalence** — running ``DiscardPgc`` equals running a
   prefetcher wrapper that suppresses page-cross candidates at the source
   (the policy layer must be side-effect-free when it discards); only the
@@ -227,19 +230,24 @@ def check_packed_matches_generator(workload_name: str, *, warmup: int,
 
     Covers every fuzz prefetcher under both a static policy (discard) and
     the epoch-adaptive one (dripper) — the two exercise disjoint sets of
-    fused branches (DRIPPER reads the in-flight-miss feature and flips
-    decisions at epoch boundaries, which forces the fast path through its
-    ``step()`` fallback seam).
+    fused branches.  DRIPPER additionally runs with a deliberately short
+    epoch so the packed loop's *inline* epoch rollover (it no longer bails
+    to ``step()`` at epoch boundaries) fires many times per measurement
+    window.
     """
     workload = by_name(workload_name)
     outcomes = []
     for prefetcher in _FUZZ_PREFETCHERS:
-        for policy in ("discard", "dripper"):
+        for policy, epoch in (("discard", None), ("dripper", None), ("dripper", 512)):
             spec = _spec(prefetcher, policy, warmup, sim)
-            generator = simulate(workload, spec.config_for(workload))
-            packed = simulate(workload, replace(spec.config_for(workload), packed=True))
+            config = spec.config_for(workload)
+            if epoch is not None:
+                config = replace(config, epoch_instructions=epoch)
+            generator = simulate(workload, config)
+            packed = simulate(workload, replace(config, packed=True))
             diffs = result_diff(generator, packed)
-            name = f"packed-vs-generator[{workload_name}/{prefetcher}/{policy}]"
+            tag = f"{policy}@{epoch}" if epoch is not None else policy
+            name = f"packed-vs-generator[{workload_name}/{prefetcher}/{tag}]"
             if diffs:
                 outcomes.append(CheckOutcome(name, False, _summarise(diffs)))
             else:
@@ -247,6 +255,43 @@ def check_packed_matches_generator(workload_name: str, *, warmup: int,
                     name, True, f"identical at ipc {generator.ipc:.3f}"
                 ))
     return outcomes
+
+
+def check_shm_grid_matches_serial(workload_names: Sequence[str], *,
+                                  policies: Sequence[str], prefetcher: str,
+                                  warmup: int, sim: int, jobs: int) -> CheckOutcome:
+    """The shared-memory grid path equals serial execution, and cleans up.
+
+    Runs the (workload × policy) grid once serially and once on a worker
+    pool with the zero-copy pack store (``shm=True``): workers attach the
+    parent's published segments instead of re-packing, and must produce
+    field-identical results.  Afterwards no ``repro-pack-*`` segment may
+    remain in ``/dev/shm`` — a leak means a store outlived its session.
+    """
+    from repro.experiments.parallel import grid_session
+    from repro.workloads.shm import live_segments
+
+    cells = [
+        cell_for(by_name(name), _spec(prefetcher, policy, warmup, sim))
+        for name in workload_names
+        for policy in policies
+    ]
+    serial = run_cells(cells, jobs=1)
+    with grid_session(max(2, jobs), True):
+        shared = run_cells(cells, jobs=max(2, jobs), shm=True)
+    name = f"shm-grid-vs-serial[{len(cells)} cells]"
+    for i, (a, b) in enumerate(zip(serial, shared)):
+        diffs = result_diff(a, b)
+        if diffs:
+            cell = cells[i]
+            return CheckOutcome(
+                name, False,
+                f"cell {i} ({cell.workload}/{cell.spec.policy}): " + _summarise(diffs),
+            )
+    leaked = live_segments()
+    if leaked:
+        return CheckOutcome(name, False, f"leaked shm segments: {', '.join(leaked)}")
+    return CheckOutcome(name, True, f"{len(cells)} cells identical, no segments leaked")
 
 
 def check_invariants_clean(workload_names: Sequence[str], *, policies: Sequence[str],
@@ -336,6 +381,9 @@ def run_validation_suite(
     record(check_parallel_matches_serial(
         workload_names, policies=policies, warmup=warmup, sim=sim,
         seed=seed, fuzz_cells=fuzz_cells, jobs=jobs))
+    record(check_shm_grid_matches_serial(
+        workload_names, policies=policies, prefetcher=prefetcher,
+        warmup=warmup, sim=sim, jobs=jobs))
     record(check_discard_source_equivalence(anchor, prefetcher=prefetcher,
                                             warmup=warmup, sim=sim))
     record(check_epoch_invariance(anchor, prefetcher=prefetcher,

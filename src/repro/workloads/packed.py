@@ -18,20 +18,47 @@ slack margin.
 :func:`get_packed` adds a small process-wide cache keyed by workload identity
 and window, which is what lets the grid cells of
 :mod:`repro.experiments.parallel` share one materialisation across every
-(prefetcher × policy) cell of the same workload.
+(prefetcher × policy) cell of the same workload.  A *shared provider*
+(:func:`install_shared_provider`) is consulted before the cache: worker
+processes of an shm-backed grid install one that attaches zero-copy
+:class:`PackedTrace` views over the parent's published segments
+(:mod:`repro.workloads.shm`), bypassing the local cache — and its memory —
+entirely.
 """
 
 from __future__ import annotations
 
+import os
 from array import array
 from collections import OrderedDict
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.workloads.trace import Record, Workload
 
+
+def _capacity_from_env() -> int:
+    """Pack-cache capacity, overridable via ``REPRO_PACK_CACHE_CAPACITY``."""
+    raw = os.environ.get("REPRO_PACK_CACHE_CAPACITY")
+    if raw is None:
+        return 32
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_PACK_CACHE_CAPACITY must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"REPRO_PACK_CACHE_CAPACITY must be a positive integer, got {raw!r}"
+        )
+    return value
+
+
 #: process-wide pack cache capacity (packs are ~22 bytes/record; the default
-#: 80k-instruction window is ~0.5 MB, so 32 entries stay well under 32 MB)
-_CACHE_CAPACITY = 32
+#: 80k-instruction window is ~0.5 MB, so 32 entries stay well under 32 MB);
+#: a grid over more workloads than this silently thrashes, so it is
+#: configurable via the env var or :func:`set_pack_cache_capacity`
+_CACHE_CAPACITY = _capacity_from_env()
 
 
 class PackedTrace:
@@ -151,27 +178,99 @@ def _pack_key(workload: Workload, warmup: int, sim: int) -> tuple:
 
 
 _PACK_CACHE: OrderedDict[tuple, PackedTrace] = OrderedDict()
+#: hit/miss/eviction counters for the process-wide cache (see pack_cache_stats)
+_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+#: consulted by :func:`get_packed` before the local cache; returns a shared
+#: (e.g. shm-attached) pack for a key, or None to fall through.  Installed by
+#: :mod:`repro.workloads.shm` in grid worker processes.
+_SHARED_PROVIDER: Optional[Callable[[tuple], Optional[PackedTrace]]] = None
 
 
-def get_packed(workload: Workload, warmup: int, sim: int) -> PackedTrace:
+def install_shared_provider(provider: Optional[Callable[[tuple], Optional[PackedTrace]]]) -> None:
+    """Install (or with ``None`` remove) the shared pack provider.
+
+    Provider hits bypass the local LRU entirely: shared packs are owned by
+    their publishing process and must not pin duplicate buffers here.
+    """
+    global _SHARED_PROVIDER
+    _SHARED_PROVIDER = provider
+
+
+def set_pack_cache_capacity(capacity: int) -> int:
+    """Resize the process-wide pack cache; returns the previous capacity.
+
+    Shrinking evicts immediately (oldest first, counted as evictions).
+    """
+    global _CACHE_CAPACITY
+    if capacity < 1:
+        raise ValueError(f"pack cache capacity must be >= 1, got {capacity}")
+    previous = _CACHE_CAPACITY
+    _CACHE_CAPACITY = capacity
+    while len(_PACK_CACHE) > _CACHE_CAPACITY:
+        _evict_oldest()
+    return previous
+
+
+def pack_cache_stats() -> dict[str, int]:
+    """Hit/miss/eviction counters plus current size/capacity (a copy)."""
+    stats = dict(_CACHE_STATS)
+    stats["size"] = len(_PACK_CACHE)
+    stats["capacity"] = _CACHE_CAPACITY
+    return stats
+
+
+def _evict_oldest() -> None:
+    key, packed = _PACK_CACHE.popitem(last=False)
+    _CACHE_STATS["evictions"] += 1
+    # observability: a thrashing cache (grid wider than the capacity) shows
+    # up as a steady eviction stream on the repro.obs logger
+    from repro.obs import log_event
+
+    log_event(
+        "pack-cache-eviction",
+        workload=packed.name,
+        bytes=packed.nbytes(),
+        evictions=_CACHE_STATS["evictions"],
+        capacity=_CACHE_CAPACITY,
+    )
+
+
+def get_packed(workload: Workload, warmup: int, sim: int, *,
+               capacity: Optional[int] = None) -> PackedTrace:
     """Return a (cached) :class:`PackedTrace` covering the given window.
 
-    The cache is process-wide and LRU-bounded; worker processes of a parallel
-    grid each build their own (the arrays are picklable, but shipping them
-    per cell would cost more than re-packing once per worker).
+    The cache is process-wide and LRU-bounded (``capacity`` overrides the
+    bound for this call and onwards).  In shm-backed grid workers a shared
+    provider serves zero-copy attachments first — those never enter the
+    local cache.  Without one, each worker process builds its own packs
+    (the arrays are picklable, but shipping them per cell would cost more
+    than re-packing once per worker).
     """
+    if capacity is not None:
+        set_pack_cache_capacity(capacity)
     key = _pack_key(workload, warmup, sim)
+    if _SHARED_PROVIDER is not None:
+        packed = _SHARED_PROVIDER(key)
+        if packed is not None:
+            return packed
     packed = _PACK_CACHE.get(key)
     if packed is not None:
+        _CACHE_STATS["hits"] += 1
         _PACK_CACHE.move_to_end(key)
         return packed
+    _CACHE_STATS["misses"] += 1
     packed = PackedTrace.from_workload(workload, warmup, sim)
     _PACK_CACHE[key] = packed
     while len(_PACK_CACHE) > _CACHE_CAPACITY:
-        _PACK_CACHE.popitem(last=False)
+        _evict_oldest()
     return packed
 
 
 def clear_pack_cache() -> None:
-    """Drop every cached pack (tests and memory-pressure escape hatch)."""
+    """Drop every cached pack (tests, forked workers, memory pressure).
+
+    Counters survive a clear (they audit process lifetime, not cache
+    contents); drops are not counted as evictions.
+    """
     _PACK_CACHE.clear()

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.experiments.cache import ResultCache
-from repro.experiments.parallel import Cell, cell_for, run_cells
+from repro.experiments.parallel import (
+    Cell,
+    _affine_groups,
+    cell_for,
+    grid_session,
+    run_cells,
+)
 from repro.experiments.runner import RunSpec, run_many, run_policies
 from repro.experiments.sweep import sweep_epoch_length, sweep_parameter
 from repro.obs import Observability, RunJournal, read_journal
@@ -192,6 +198,79 @@ class TestMergedJournal:
         last = read_journal(journal)[-1]
         assert last["workload"]["name"] == "astar"
         assert "sweep" not in last["context"]
+
+
+class TestAffineScheduling:
+    def test_groups_by_workload_and_window(self):
+        cells = [
+            cell_for(by_name(w), FAST, policy=p)
+            for p in ("discard", "permit")
+            for w in ("astar", "hmmer")
+        ]
+        groups = _affine_groups(cells, range(len(cells)))
+        assert [(idx, w.name) for idx, w, _, _ in groups] == [
+            ([0, 2], "astar"), ([1, 3], "hmmer"),
+        ]
+        assert all((warm, sim) == (1_000, 3_000) for _, _, warm, sim in groups)
+
+    def test_window_splits_groups(self):
+        from dataclasses import replace
+
+        longer = replace(FAST, sim_instructions=4_000)
+        cells = [cell_for(by_name("astar"), spec) for spec in (FAST, longer, FAST)]
+        groups = _affine_groups(cells, range(len(cells)))
+        assert [idx for idx, _, _, _ in groups] == [[0, 2], [1]]
+
+
+class TestSharedMemoryGrid:
+    def test_shm_grid_matches_serial_without_leaks(self):
+        from repro.workloads.shm import live_segments
+
+        cells = [
+            cell_for(by_name(w), FAST, policy=p)
+            for w in ("astar", "hmmer")
+            for p in ("discard", "dripper")
+        ]
+        serial = run_cells(cells, jobs=1)
+        shared = run_cells(cells, jobs=2, shm=True)
+        assert shared == serial
+        assert live_segments() == []
+
+    def test_session_reuses_store_across_batches(self):
+        from repro.workloads.shm import live_segments
+
+        cells = [cell_for(by_name("astar"), FAST, policy=p)
+                 for p in ("discard", "permit")]
+        serial = run_cells(cells, jobs=1)
+        with grid_session(2, True) as session:
+            first = run_cells(cells, jobs=2)
+            second = run_cells(cells, jobs=2)
+            assert len(session.store.handles()) == 1  # published once
+        assert first == serial and second == serial
+        assert live_segments() == []
+
+    def test_no_shm_still_matches_serial(self):
+        cells = [cell_for(by_name(w), FAST) for w in ("astar", "hmmer")]
+        assert run_cells(cells, jobs=2, shm=False) == run_cells(cells, jobs=1)
+
+    def test_run_policies_shm_matches_serial(self):
+        workloads = _workloads(("astar", "hmmer"))
+        serial = run_policies(workloads, ["discard", "permit"], base_spec=FAST)
+        shared = run_policies(workloads, ["discard", "permit"], base_spec=FAST,
+                              jobs=2, shm=True)
+        assert shared == serial
+
+    def test_persistent_session_journal_not_double_counted(self, tmp_path):
+        journal = tmp_path / "runs.jsonl"
+        obs = Observability(journal=RunJournal(journal))
+        cells = [cell_for(by_name("astar"), FAST, policy=p)
+                 for p in ("discard", "permit")]
+        with grid_session(2, True):
+            run_cells(cells, jobs=2, obs=obs)
+            run_cells(cells, jobs=2, obs=obs)
+        obs.close()
+        assert len(read_journal(journal)) == 4  # 2 batches x 2 cells, once each
+        assert obs.runs == 4
 
 
 class TestRunPoliciesPrefetcherFix:

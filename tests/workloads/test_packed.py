@@ -9,8 +9,11 @@ from repro.workloads import by_name
 from repro.workloads.packed import (
     PackedTrace,
     PackedWorkload,
+    _capacity_from_env,
     clear_pack_cache,
     get_packed,
+    pack_cache_stats,
+    set_pack_cache_capacity,
 )
 from repro.workloads.trace_io import FileWorkload, snapshot_workload
 
@@ -86,6 +89,82 @@ class TestPackCache:
         assert get_packed(w, 1_000, 3_000) is not first
         clear_pack_cache()
         assert get_packed(w, 1_000, 2_000) is not first
+
+
+@pytest.fixture
+def bounded_cache():
+    """Shrinkable cache capacity, restored (with a clean cache) afterwards."""
+    previous = set_pack_cache_capacity(2)
+    clear_pack_cache()
+    yield
+    set_pack_cache_capacity(previous)
+    clear_pack_cache()
+
+
+class TestPackCacheCapacity:
+    def test_lru_eviction_at_capacity(self, bounded_cache):
+        w = by_name("astar")
+        before = pack_cache_stats()["evictions"]
+        oldest = get_packed(w, 1_000, 2_000)
+        get_packed(w, 1_000, 3_000)
+        get_packed(w, 1_000, 4_000)  # capacity 2: evicts the oldest window
+        stats = pack_cache_stats()
+        assert stats["size"] == 2
+        assert stats["capacity"] == 2
+        assert stats["evictions"] == before + 1
+        assert get_packed(w, 1_000, 2_000) is not oldest  # was evicted
+
+    def test_recent_use_protects_from_eviction(self, bounded_cache):
+        w = by_name("astar")
+        first = get_packed(w, 1_000, 2_000)
+        get_packed(w, 1_000, 3_000)
+        assert get_packed(w, 1_000, 2_000) is first  # moves to MRU
+        get_packed(w, 1_000, 4_000)  # evicts the 3_000 window instead
+        assert get_packed(w, 1_000, 2_000) is first
+
+    def test_capacity_keyword_resizes(self, bounded_cache):
+        w = by_name("astar")
+        get_packed(w, 1_000, 2_000)
+        get_packed(w, 1_000, 3_000)
+        get_packed(w, 1_000, 4_000, capacity=1)
+        assert pack_cache_stats()["size"] == 1
+        assert pack_cache_stats()["capacity"] == 1
+
+    def test_shrinking_evicts_immediately(self, bounded_cache):
+        w = by_name("astar")
+        get_packed(w, 1_000, 2_000)
+        get_packed(w, 1_000, 3_000)
+        before = pack_cache_stats()["evictions"]
+        set_pack_cache_capacity(1)
+        stats = pack_cache_stats()
+        assert stats["size"] == 1
+        assert stats["evictions"] == before + 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            set_pack_cache_capacity(0)
+
+    def test_env_var_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PACK_CACHE_CAPACITY", raising=False)
+        assert _capacity_from_env() == 32
+        monkeypatch.setenv("REPRO_PACK_CACHE_CAPACITY", "5")
+        assert _capacity_from_env() == 5
+        for bad in ("zero", "0", "-3"):
+            monkeypatch.setenv("REPRO_PACK_CACHE_CAPACITY", bad)
+            with pytest.raises(ValueError, match="REPRO_PACK_CACHE_CAPACITY"):
+                _capacity_from_env()
+
+    def test_eviction_emits_obs_event(self, bounded_cache, caplog):
+        import logging
+
+        w = by_name("astar")
+        with caplog.at_level(logging.DEBUG, logger="repro.obs"):
+            get_packed(w, 1_000, 2_000)
+            get_packed(w, 1_000, 3_000)
+            get_packed(w, 1_000, 4_000)
+        events = [r for r in caplog.records if "pack-cache-eviction" in r.message]
+        assert len(events) == 1
+        assert "'workload': 'astar'" in events[0].message
 
 
 class TestPackedSimulation:
