@@ -12,6 +12,7 @@ Subcommands::
     python -m repro snapshot  --workload astar --out astar.rptr --instructions 100000
     python -m repro convert   --champsim trace.bin --out trace.rptr
     python -m repro validate  --workloads astar hmmer --jobs 2
+    python -m repro status    --journal runs.jsonl --metrics metrics.prom
 
 ``run``, ``compare``, ``sweep``, and ``inspect`` accept ``--validate``, which
 attaches a runtime invariant checker to every simulation (conservation laws
@@ -27,12 +28,22 @@ equality, per-run invariant passes, and mutation detection.
 ``run``, ``compare``, ``sweep``, and ``inspect`` accept observability flags:
 ``--timeline-out`` (per-epoch CSV/JSONL time series), ``--journal``
 (append-only JSONL run records), ``--profile`` (per-component wall-time
-breakdown of the hot paths), and ``--json`` (machine-readable stdout).
-``compare`` and ``sweep`` additionally accept ``--jobs`` (process-pool grid
-execution), ``--cache-dir`` (content-addressed result cache; unchanged
-cells are never re-simulated), and ``--shm``/``--no-shm`` (share each
-workload's packed trace with the workers through shared memory instead of
-re-packing per worker; on by default whenever ``--jobs`` > 1).
+breakdown of the hot paths), ``--json`` (machine-readable stdout),
+``--metrics-out`` (process-wide counter/gauge/histogram snapshot as
+Prometheus text, or JSON when the path ends in ``.json``), and
+``--trace-out`` (Chrome trace-event JSON of the run's spans — pack,
+shm-attach, drive, collect, cache-write — loadable in Perfetto or
+``chrome://tracing``; under ``--jobs`` the workers' spans are merged in with
+their real pids).  ``compare`` and ``sweep`` additionally accept ``--jobs``
+(process-pool grid execution), ``--cache-dir`` (content-addressed result
+cache; unchanged cells are never re-simulated), ``--shm``/``--no-shm``
+(share each workload's packed trace with the workers through shared memory
+instead of re-packing per worker; on by default whenever ``--jobs`` > 1),
+and ``--progress`` (live per-cell progress lines with ETA on stderr).
+
+``status`` summarises a finished (or in-flight) run journal — runs,
+workloads, policies, wall time, aggregate simulation throughput, per-policy
+IPC — and, given ``--metrics``, the matching exported metrics snapshot.
 """
 
 from __future__ import annotations
@@ -117,8 +128,50 @@ def _make_obs(args: argparse.Namespace, *, keep_engine: bool = False) -> Optiona
     return Observability(timeline=timeline, journal=journal, probe=probe, keep_engine=keep_engine)
 
 
+def _setup_telemetry(args: argparse.Namespace) -> None:
+    """Install a parent tracer when span capture was requested."""
+    if getattr(args, "trace_out", None):
+        from repro.obs.tracing import Tracer, install_tracer
+
+        install_tracer(Tracer(role="parent"))
+
+
+def _emit_telemetry(args: argparse.Namespace) -> None:
+    """Write the metrics snapshot / merged Chrome trace the flags asked for."""
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        from repro.obs.metrics import get_metrics, to_json, to_prometheus
+
+        snap = get_metrics().snapshot()
+        as_json = str(metrics_out).endswith(".json")
+        text = to_json(snap) if as_json else to_prometheus(snap)
+        with open(metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        series = sum(len(m["series"]) for group in
+                     (snap.counters, snap.gauges, snap.histograms)
+                     for m in group.values())
+        print(f"metrics: {series} series -> {metrics_out}", file=sys.stderr)
+    if getattr(args, "trace_out", None):
+        from repro.obs.tracing import current_tracer, install_tracer
+
+        tracer = current_tracer()
+        if tracer is not None:
+            count = tracer.write_chrome_trace(args.trace_out)
+            print(f"trace: {count} span(s) -> {args.trace_out}", file=sys.stderr)
+            install_tracer(None)
+
+
+def _progress_sink(args: argparse.Namespace):
+    if getattr(args, "progress", False):
+        from repro.obs.progress import progress_printer
+
+        return progress_printer()
+    return None
+
+
 def _emit_obs(args: argparse.Namespace, obs: Optional[Observability]) -> None:
     """Flush timeline/journal sinks and print the profile breakdown."""
+    _emit_telemetry(args)
     if obs is None:
         return
     if obs.timeline is not None:
@@ -153,6 +206,7 @@ def _json_payload(workload, spec: RunSpec, result, obs: Optional[Observability])
 
 def cmd_run(args: argparse.Namespace) -> int:
     """`repro run`: one workload, one policy, full metric table."""
+    _setup_telemetry(args)
     workload = _resolve_workload(args)
     spec = _spec(args, args.policy)
     obs = _make_obs(args)
@@ -187,6 +241,7 @@ def _emit_cache_stats(cache: Optional[ResultCache]) -> None:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     """`repro compare`: one workload under several policies."""
+    _setup_telemetry(args)
     workload = _resolve_workload(args)
     obs = _make_obs(args)
     cache = _make_cache(args)
@@ -197,7 +252,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         cells = [cell_for(workload, spec) for spec in specs]
         with grid_session(args.jobs, args.shm):
             results = run_cells(cells, jobs=args.jobs, cache=cache, obs=obs,
-                                shm=args.shm)
+                                shm=args.shm, progress=_progress_sink(args))
     else:
         results = [run_one(workload, spec, obs=obs) for spec in specs]
     base = results[0]
@@ -246,9 +301,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         validate=args.validate,
         packed=args.packed,
     )
+    _setup_telemetry(args)
     obs = _make_obs(args)
     cache = _make_cache(args)
-    common = dict(base_spec=spec, obs=obs, jobs=args.jobs, cache=cache, shm=args.shm)
+    common = dict(base_spec=spec, obs=obs, jobs=args.jobs, cache=cache,
+                  shm=args.shm, progress=_progress_sink(args))
     if args.param == "epoch":
         epoch_data = sweep_epoch_length(workloads, args.values, **common)
         data = {value: {"dripper": pct} for value, pct in epoch_data.items()}
@@ -282,6 +339,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_inspect(args: argparse.Namespace) -> int:
     """`repro inspect`: run a workload, then dump the trained filter state."""
+    _setup_telemetry(args)
     workload = _resolve_workload(args)
     spec = _spec(args, args.policy)
     obs = _make_obs(args, keep_engine=True)
@@ -391,6 +449,96 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _summarize_journal(records: list[dict]) -> dict:
+    """Aggregate a journal's records into the `repro status` summary."""
+    workloads = sorted({r["workload"]["name"] for r in records})
+    policies = sorted({r["config"]["policy"] for r in records})
+    wall = sum(r.get("wall_seconds") or 0.0 for r in records)
+    instructions = sum(r["result"]["instructions"] for r in records)
+    per_policy: dict[str, dict] = {}
+    for policy in policies:
+        runs = [r for r in records if r["config"]["policy"] == policy]
+        ipcs = [r["result"]["ipc"] for r in runs]
+        per_policy[policy] = {
+            "runs": len(runs),
+            "mean_ipc": sum(ipcs) / len(ipcs) if ipcs else None,
+        }
+    return {
+        "runs": len(records),
+        "workloads": workloads,
+        "policies": policies,
+        "wall_seconds": wall,
+        "instructions": instructions,
+        "instructions_per_second": instructions / wall if wall > 0 else None,
+        "per_policy": per_policy,
+        "hosts": sorted({r["host"]["hostname"] for r in records if "host" in r}),
+    }
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """`repro status`: summarise a run journal (+ optional metrics export)."""
+    from repro.obs.journal import read_journal
+
+    records = read_journal(args.journal)
+    if not records:
+        print(f"status: no records in {args.journal}", file=sys.stderr)
+        return 1
+    summary = _summarize_journal(records)
+    metrics_summary = None
+    if args.metrics:
+        from repro.obs.metrics import parse_prometheus
+
+        with open(args.metrics, encoding="utf-8") as fh:
+            text = fh.read()
+        if str(args.metrics).endswith(".json"):
+            samples = json.loads(text)["samples"]
+        else:
+            samples = parse_prometheus(text)
+        metrics_summary = {}
+        for sample in samples:
+            labels = sample["labels"]
+            key = sample["name"] if not labels else (
+                sample["name"] + "{"
+                + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}")
+            # JSON histogram samples carry count/sum instead of a value
+            metrics_summary[key] = sample.get("value", sample.get("sum"))
+    if args.json:
+        payload = {"journal": str(args.journal), "summary": summary}
+        if metrics_summary is not None:
+            payload["metrics"] = metrics_summary
+        print(json.dumps(payload, indent=2))
+        return 0
+    rows = [
+        ("runs", str(summary["runs"])),
+        ("workloads", ", ".join(summary["workloads"])),
+        ("policies", ", ".join(summary["policies"])),
+        ("wall time", f"{summary['wall_seconds']:.2f}s"),
+        ("instructions", f"{summary['instructions']:,}"),
+    ]
+    ips = summary["instructions_per_second"]
+    if ips is not None:
+        rows.append(("throughput", f"{ips / 1000:.0f}k instr/s"))
+    print(format_table(["field", "value"], rows, f"journal {args.journal}"))
+    print(format_table(
+        ["policy", "runs", "mean IPC"],
+        [(p, str(d["runs"]),
+          f"{d['mean_ipc']:.4f}" if d["mean_ipc"] is not None else "n/a")
+         for p, d in summary["per_policy"].items()],
+        "per policy",
+    ))
+    if metrics_summary:
+        interesting = [
+            (k, v) for k, v in sorted(metrics_summary.items())
+            if not k.endswith("_bucket") and "_bucket{" not in k
+        ]
+        print(format_table(
+            ["metric", "value"],
+            [(k, f"{v:g}") for k, v in interesting],
+            f"metrics {args.metrics}",
+        ))
+    return 0
+
+
 def cmd_storage(args: argparse.Namespace) -> int:
     """`repro storage`: DRIPPER's Table III accounting."""
     bits = storage_breakdown_bits()
@@ -444,6 +592,9 @@ def build_parser() -> argparse.ArgumentParser:
         shm.add_argument("--no-shm", dest="shm", action="store_false",
                          help="disable the shared-memory pack store; workers "
                               "pack their own traces")
+        g.add_argument("--progress", action="store_true",
+                       help="print live per-cell progress (with ETA and "
+                            "throughput) to stderr as grid cells land")
 
     def add_obs_args(p: argparse.ArgumentParser) -> None:
         g = p.add_argument_group("observability")
@@ -457,6 +608,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="time the hot paths; print a per-component breakdown")
         g.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON on stdout")
+        g.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write the end-of-command metrics snapshot "
+                            "(Prometheus text; JSON when PATH ends in .json)")
+        g.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="record spans (pack/shm-attach/drive/collect/"
+                            "cache-write) and write a Chrome trace-event JSON "
+                            "merging every process's spans")
 
     run_p = sub.add_parser("run", help="run one workload under one policy")
     add_sim_args(run_p)
@@ -539,6 +697,22 @@ def build_parser() -> argparse.ArgumentParser:
     val_p.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON on stdout")
     val_p.set_defaults(func=cmd_validate)
+
+    st_p = sub.add_parser(
+        "status",
+        help="summarise a run journal (and an exported metrics snapshot)",
+        description="Aggregate a JSONL run journal into run/workload/policy "
+                    "counts, total wall time, simulation throughput, and "
+                    "per-policy IPC; --metrics additionally folds in a "
+                    "--metrics-out export (Prometheus text or JSON).",
+    )
+    st_p.add_argument("--journal", required=True, metavar="PATH",
+                      help="JSONL run journal written by --journal")
+    st_p.add_argument("--metrics", default=None, metavar="PATH",
+                      help="metrics snapshot written by --metrics-out")
+    st_p.add_argument("--json", action="store_true",
+                      help="emit machine-readable JSON on stdout")
+    st_p.set_defaults(func=cmd_status)
 
     conv_p = sub.add_parser("convert", help="convert a ChampSim trace to the native format")
     conv_p.add_argument("--champsim", required=True)

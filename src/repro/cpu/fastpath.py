@@ -47,6 +47,7 @@ from repro.core.update_buffers import TrainingRecord
 from repro.cpu.branch import DEFAULT_HISTORY_LENGTHS, HashedPerceptronBranchPredictor
 from repro.cpu.core import CoreEngine
 from repro.mem.replacement import LruPolicy
+from repro.obs.metrics import get_metrics
 from repro.prefetch.next_line import NextLinePrefetcher
 from repro.vm.address import LINE_SHIFT, PAGE_4K_SHIFT, PAGE_2M_SHIFT, VA_MASK
 from repro.vm.page_table import Translation
@@ -54,6 +55,11 @@ from repro.workloads.packed import PackedTrace
 from repro.workloads.trace import BRANCH, DEPENDS, LOAD, MISPREDICT, STORE, TAKEN
 
 __all__ = ["drive_packed"]
+
+#: same instrument the generator loop increments (mode="generator"); one
+#: increment per drive entry, so the hot loop itself stays untouched
+_DRIVES = get_metrics().counter(
+    "sim.drives", "drive-loop entries by mode (generator/fused/stepwise)")
 
 
 def _lru_fusible(cache) -> bool:
@@ -269,7 +275,9 @@ def drive_packed(engine: CoreEngine, packed: PackedTrace, config) -> float:
     sim_limit = config.sim_instructions
     if engine.probe is not None:
         # profiled run: fusion would bypass the probe's timed seams
+        _DRIVES.inc(mode="stepwise")
         return _drive_stepwise(engine, packed, warm_limit, sim_limit)
+    _DRIVES.inc(mode="fused")
 
     # ---- loop-invariant hoists ------------------------------------------
     end_epoch = engine._end_epoch

@@ -16,6 +16,8 @@ from typing import TYPE_CHECKING, Callable, Optional
 from repro.core.policies import DiscardPgc, PageCrossPolicy
 from repro.cpu.core import CoreEngine
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import trace_span
 from repro.params import DEFAULT_PARAMS, SystemParams
 from repro.prefetch import make_l1d_prefetcher, make_l2_prefetcher
 from repro.prefetch.base import L1dPrefetcher
@@ -31,6 +33,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: builds a fresh policy per run (policies are stateful and must not be shared)
 PolicyFactory = Callable[[], PageCrossPolicy]
+
+#: one increment per drive-loop entry, labelled by mode (``generator`` |
+#: ``fused`` | ``stepwise``) — the fast-path-vs-fallback ratio of a grid is
+#: readable straight off the merged metrics
+_DRIVES = get_metrics().counter(
+    "sim.drives", "drive-loop entries by mode (generator/fused/stepwise)")
 
 
 @dataclass
@@ -261,6 +269,7 @@ def drive(engine: CoreEngine, workload: Workload, config: SimConfig) -> float:
     """
     warm_limit = config.warmup_instructions
     sim_limit = config.sim_instructions
+    _DRIVES.inc(mode="generator")
     step = engine.step
     measuring = False
     wall_start = perf_counter()
@@ -319,10 +328,13 @@ def simulate(
         from repro.workloads.packed import get_packed
 
         packed = get_packed(workload, config.warmup_instructions, config.sim_instructions)
-        wall_seconds = drive_packed(engine, packed, config)
+        with trace_span("drive", workload=workload.name, mode="packed"):
+            wall_seconds = drive_packed(engine, packed, config)
     else:
-        wall_seconds = drive(engine, workload, config)
-    result = collect_result(engine, workload.name, config)
+        with trace_span("drive", workload=workload.name, mode="generator"):
+            wall_seconds = drive(engine, workload, config)
+    with trace_span("collect", workload=workload.name):
+        result = collect_result(engine, workload.name, config)
     if checker is not None:
         checker.check_final(engine, result)
     if obs is not None:

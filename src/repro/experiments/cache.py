@@ -25,6 +25,14 @@ from pathlib import Path
 from typing import Any, Optional
 
 from repro.cpu.simulator import SimResult
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import trace_span
+
+#: result-cache instruments (process-wide; grid workers never touch the
+#: result cache — lookups and writes both happen in the parent)
+_HITS = get_metrics().counter("result_cache.hits", "cells served from disk")
+_MISSES = get_metrics().counter("result_cache.misses", "cells that had to simulate")
+_STORES = get_metrics().counter("result_cache.stores", "freshly written entries")
 
 #: bump when the entry layout or the fingerprint payload changes incompatibly
 #: (2: merged-latency-floor timing fix, pruned/deduped in-flight-miss feature,
@@ -66,29 +74,35 @@ class ResultCache:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (FileNotFoundError, OSError, json.JSONDecodeError):
             self.misses += 1
+            _MISSES.inc()
             return None
         if payload.get("schema") != CACHE_SCHEMA or "result" not in payload:
             self.misses += 1
+            _MISSES.inc()
             return None
         try:
             result = SimResult(**payload["result"])
         except TypeError:  # entry written by an incompatible SimResult layout
             self.misses += 1
+            _MISSES.inc()
             return None
         self.hits += 1
+        _HITS.inc()
         return result
 
     def put(self, key: str, result: SimResult, *, meta: Optional[dict[str, Any]] = None) -> None:
         """Store `result` under `key` (atomic; safe across processes)."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload: dict[str, Any] = {"schema": CACHE_SCHEMA, "key": key, "result": asdict(result)}
-        if meta:
-            payload["meta"] = meta
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload), encoding="utf-8")
-        os.replace(tmp, path)
+        with trace_span("cache-write", category="cache", key=key[:12]):
+            path = self._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload: dict[str, Any] = {"schema": CACHE_SCHEMA, "key": key, "result": asdict(result)}
+            if meta:
+                payload["meta"] = meta
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            os.replace(tmp, path)
         self.stores += 1
+        _STORES.inc()
 
     @property
     def stats(self) -> dict[str, int]:

@@ -63,10 +63,15 @@ from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional, Sequence
 
+from time import perf_counter
+
 from repro.cpu.simulator import SimConfig, SimResult, simulate
 from repro.experiments.cache import CACHE_SCHEMA, ResultCache, fingerprint
 from repro.experiments.runner import RunSpec, policy_factory
 from repro.obs.journal import describe_config, describe_workload
+from repro.obs.metrics import MetricsSnapshot, get_metrics, reset_metrics
+from repro.obs.progress import GridProgress, ProgressSink
+from repro.obs.tracing import Tracer, current_tracer, install_tracer, trace_span
 from repro.params import SystemParams
 from repro.workloads.packed import clear_pack_cache
 from repro.workloads.registry import by_name
@@ -77,6 +82,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: callback fired as each cell's result lands: (cell index, result, cached?)
 ResultHook = Callable[[int, SimResult, bool], None]
+
+#: in-flight duplicate cells served off a primary cell's fresh entry
+#: (the third leg of the result-cache story next to hits/misses)
+_COALESCED = get_metrics().counter(
+    "result_cache.coalesced", "in-flight duplicate cells coalesced onto a primary")
 
 
 @dataclass(frozen=True)
@@ -169,6 +179,29 @@ def cell_fingerprint(cell: Cell, workload: Optional[Any] = None) -> str:
     })
 
 
+_GRID_METRICS = None
+
+
+def _grid_metrics():
+    """Cached (cells, instructions, wall-seconds, cell-seconds) instruments.
+
+    Labelled by pid so merged grid snapshots still expose per-worker
+    throughput; ``reset_metrics`` keeps instrument objects alive, so caching
+    the references here is safe across a worker-side registry reset.
+    """
+    global _GRID_METRICS
+    if _GRID_METRICS is None:
+        reg = get_metrics()
+        _GRID_METRICS = (
+            reg.counter("grid.cells", "grid cells simulated, by executing pid"),
+            reg.counter("grid.instructions",
+                        "simulated (measured-region) instructions, by pid"),
+            reg.counter("grid.wall_seconds", "wall seconds inside cells, by pid"),
+            reg.histogram("grid.cell_seconds", "wall-seconds per grid cell"),
+        )
+    return _GRID_METRICS
+
+
 def execute_cell(cell: Cell, *, obs: Optional["Observability"] = None,
                  force_packed: bool = False) -> SimResult:
     """Run one cell in the current process (the `jobs=1` path).
@@ -181,10 +214,23 @@ def execute_cell(cell: Cell, *, obs: Optional["Observability"] = None,
     config = build_config(cell, workload)
     if force_packed and not config.packed:
         config.packed = True
-    if obs is not None:
-        with obs.scoped(spec=asdict(cell.spec), **(cell.context or {})):
-            return simulate(workload, config, obs=obs)
-    return simulate(workload, config, obs=obs)
+    policy = cell.policy or cell.spec.policy
+    start = perf_counter()
+    with trace_span("cell", category="grid",
+                    workload=cell.workload, policy=policy):
+        if obs is not None:
+            with obs.scoped(spec=asdict(cell.spec), **(cell.context or {})):
+                result = simulate(workload, config, obs=obs)
+        else:
+            result = simulate(workload, config, obs=obs)
+    wall = perf_counter() - start
+    cells, instructions, wall_seconds, cell_seconds = _grid_metrics()
+    pid = str(os.getpid())
+    cells.inc(pid=pid)
+    instructions.inc(result.instructions, pid=pid)
+    wall_seconds.inc(wall, pid=pid)
+    cell_seconds.observe(wall)
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -194,7 +240,8 @@ _WORKER_SHARD_DIR: Optional[str] = None
 _WORKER_SEQ = 0
 
 
-def _init_worker(shard_dir: Optional[str], handles: Sequence[PackHandle] = ()) -> None:
+def _init_worker(shard_dir: Optional[str], handles: Sequence[PackHandle] = (),
+                 trace: bool = False) -> None:
     global _WORKER_SHARD_DIR, _WORKER_SEQ
     _WORKER_SHARD_DIR = shard_dir
     _WORKER_SEQ = 0
@@ -202,6 +249,13 @@ def _init_worker(shard_dir: Optional[str], handles: Sequence[PackHandle] = ()) -
     # repack on first miss anyway (nothing keeps the inherited entries warm
     # across COW); drop them so worker RSS doesn't double
     clear_pack_cache()
+    # it also inherits the parent's metric *values* (warm-up packs, earlier
+    # batches) — reset them so the per-chunk deltas this worker ships back
+    # count only its own work, never the parent's
+    reset_metrics()
+    # ...and the parent's tracer, whose buffered spans and pid are not this
+    # process's; install a fresh worker tracer (or none) in its place
+    install_tracer(Tracer(role="worker") if trace else None)
     if handles:
         install_attachments(handles)
 
@@ -228,19 +282,38 @@ def _run_chunk_worker(
     handles: Sequence[PackHandle],
     use_journal: bool,
     force_packed: bool,
-) -> list[tuple[int, SimResult]]:
-    """Run one workload-affine chunk of cells in this worker process."""
+    trace_dir: Optional[str] = None,
+) -> tuple[list[tuple[int, SimResult]], MetricsSnapshot]:
+    """Run one workload-affine chunk of cells in this worker process.
+
+    Returns the chunk's results plus a metrics *delta* — everything this
+    worker's registry accumulated during the chunk, relative to a snapshot
+    taken at entry.  Deltas are commutative, so the parent can merge them in
+    completion order.  With ``trace_dir`` set, buffered spans are flushed to
+    a per-chunk shard there (the parent absorbs them after the batch).
+    """
     if handles:
         # the chunk's pack may have been published after this pool started,
         # so handles ride with the chunk (registering twice is a no-op)
         install_attachments(handles)
+    if trace_dir is not None and current_tracer() is None:
+        # tracing was enabled after this pool forked (persistent session)
+        install_tracer(Tracer(role="worker"))
+    registry = get_metrics()
+    mark = registry.snapshot()
     obs = _chunk_obs() if use_journal else None
     try:
-        return [(i, execute_cell(cell, obs=obs, force_packed=force_packed))
-                for i, cell in items]
+        out = [(i, execute_cell(cell, obs=obs, force_packed=force_packed))
+               for i, cell in items]
     finally:
         if obs is not None:
             obs.close()
+    delta = registry.snapshot().delta(mark)
+    if trace_dir is not None:
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.flush_shard(trace_dir)
+    return out, delta
 
 
 # ---------------------------------------------------------------------------
@@ -255,6 +328,10 @@ class _GridSession:
         self.shm = shm
         self.store: Optional[SharedPackStore] = SharedPackStore() if shm else None
         self.shard_dir = tempfile.mkdtemp(prefix="repro-shards-")
+        # trace shards live in a subdirectory so the journal's shard merge
+        # (non-recursive glob over shard_dir) never sees them
+        self.trace_dir = os.path.join(self.shard_dir, "trace")
+        os.makedirs(self.trace_dir, exist_ok=True)
         self._pool: Optional[ProcessPoolExecutor] = None
 
     def pool(self) -> ProcessPoolExecutor:
@@ -264,7 +341,7 @@ class _GridSession:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_init_worker,
-                initargs=(self.shard_dir, handles),
+                initargs=(self.shard_dir, handles, current_tracer() is not None),
             )
         return self._pool
 
@@ -342,6 +419,7 @@ def run_cells(
     obs: Optional["Observability"] = None,
     on_result: Optional[ResultHook] = None,
     shm: Optional[bool] = None,
+    progress: Optional[ProgressSink] = None,
 ) -> list[SimResult]:
     """Execute a batch of cells; results come back in input order.
 
@@ -354,6 +432,10 @@ def run_cells(
     ``shm=None`` enables the shared pack store whenever ``jobs>1`` (pass
     ``False`` to force per-worker packing); inside a :func:`grid_session`
     the session's setting wins.
+
+    ``progress`` (see :mod:`repro.obs.progress`) receives one structured
+    event per grid milestone: batch start, each landed cell (with ETA and
+    aggregate throughput), failed chunks, and batch end.
     """
     cells = list(cells)
     if jobs < 1:
@@ -382,21 +464,38 @@ def run_cells(
     else:
         pending = list(range(len(cells)))
 
+    prog = GridProgress(progress) if progress is not None else None
+    if prog is not None:
+        prog.start(len(cells), sum(1 for r in results if r is not None))
+
+    def _cell_policy(i: int) -> str:
+        return cells[i].policy or cells[i].spec.policy
+
     def finish(i: int, result: SimResult) -> None:
         results[i] = result
         if cache is not None:
             cache.put(keys[i], result, meta={"workload": cells[i].workload})
         if on_result is not None:
             on_result(i, result, False)
+        if prog is not None:
+            prog.cell_finish(i, cells[i].workload, _cell_policy(i),
+                             cached=False, instructions=result.instructions)
         for dup in duplicates.get(i, ()):
             dup_result = cache.get(keys[dup]) if cache is not None else None
             results[dup] = dup_result if dup_result is not None else result
+            _COALESCED.inc()
             if on_result is not None:
                 on_result(dup, results[dup], True)
+            if prog is not None:
+                prog.cell_finish(dup, cells[dup].workload, _cell_policy(dup),
+                                 cached=True,
+                                 instructions=results[dup].instructions)
 
     workers = min(jobs, len(pending))
     if workers <= 1:
         for i in pending:
+            if prog is not None:
+                prog.cell_start(i, cells[i].workload, _cell_policy(i))
             finish(i, execute_cell(cells[i], obs=obs))
     else:
         if obs is not None and (obs.timeline is not None or obs.probe is not None):
@@ -423,28 +522,45 @@ def run_cells(
                     chunks.append((indices[at:at + chunk_size], handle))
             chunks.sort(key=lambda c: -len(c[0]))  # largest first
             pool = session.pool()
-            futures = [
+            tracing = current_tracer() is not None
+            futures = {
                 pool.submit(
                     _run_chunk_worker,
                     [(i, cells[i]) for i in piece],
                     (handle,) if handle is not None else (),
                     journal is not None,
                     handle is not None,
-                )
+                    session.trace_dir if tracing else None,
+                ): piece
                 for piece, handle in chunks
-            ]
+            }
+            registry = get_metrics()
             for future in as_completed(futures):
-                for i, result in future.result():
+                try:
+                    landed, delta = future.result()
+                except BaseException as exc:
+                    if prog is not None:
+                        prog.cell_failed(futures[future], exc)
+                    raise
+                # deltas are commutative/associative, so completion order —
+                # which varies run to run — cannot change the merged totals
+                registry.merge(delta)
+                for i, result in landed:
                     finish(i, result)
             if journal is not None:
                 from repro.obs.journal import merge_shards
 
                 obs.runs += merge_shards(journal, session.shard_dir, consume=True)
         finally:
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.absorb_shards(session.trace_dir)
             if ephemeral:
                 session.close()
 
     missing = [i for i, r in enumerate(results) if r is None]
     if missing:  # pragma: no cover - defensive; every path above fills results
         raise RuntimeError(f"cells {missing} produced no result")
+    if prog is not None:
+        prog.end()
     return results  # type: ignore[return-value]

@@ -19,6 +19,7 @@ from repro.workloads.synthetic import SyntheticWorkload
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.cache import ResultCache
     from repro.obs import Observability
+    from repro.obs.progress import ProgressSink
 
 #: DRIPPER's hardware budget, handed to the prefetcher in the ISO scenario
 ISO_STORAGE_BYTES = 1475
@@ -163,6 +164,7 @@ def run_policies(
     jobs: int = 1,
     cache: Optional["ResultCache"] = None,
     shm: Optional[bool] = None,
+    progress: Optional["ProgressSink"] = None,
 ) -> dict[str, list[SimResult]]:
     """Run several policies over the same workloads; returns policy -> results.
 
@@ -178,7 +180,7 @@ def run_policies(
     if prefetcher is not None:
         spec = replace(spec, prefetcher=prefetcher)
     policy_specs = {policy: replace(spec, policy=policy) for policy in policies}
-    if jobs == 1 and cache is None:
+    if jobs == 1 and cache is None and progress is None:
         return {
             policy: run_many(workloads, policy_spec, obs=obs)
             for policy, policy_spec in policy_specs.items()
@@ -192,7 +194,8 @@ def run_policies(
         for workload in workloads
     ]
     with grid_session(jobs, shm):
-        flat = run_cells(cells, jobs=jobs, cache=cache, obs=obs, shm=shm)
+        flat = run_cells(cells, jobs=jobs, cache=cache, obs=obs, shm=shm,
+                         progress=progress)
     n = len(workloads)
     return {
         policy: flat[i * n:(i + 1) * n]

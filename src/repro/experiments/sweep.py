@@ -26,6 +26,7 @@ from repro.workloads.synthetic import SyntheticWorkload
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.cache import ResultCache
     from repro.obs import Observability
+    from repro.obs.progress import ProgressSink
 
 #: maps a sweep value onto SystemParams
 ParamsTransform = Callable[[SystemParams, int], SystemParams]
@@ -68,6 +69,7 @@ def sweep_parameter(
     jobs: int = 1,
     cache: Optional["ResultCache"] = None,
     shm: Optional[bool] = None,
+    progress: Optional["ProgressSink"] = None,
 ) -> dict[int, dict[str, float]]:
     """Sweep one parameter; returns {value: {policy: geomean % over discard}}.
 
@@ -91,7 +93,8 @@ def sweep_parameter(
             for workload in workloads
         )
     with grid_session(jobs, shm):
-        flat = run_cells(cells, jobs=jobs, cache=cache, obs=obs, shm=shm)
+        flat = run_cells(cells, jobs=jobs, cache=cache, obs=obs, shm=shm,
+                         progress=progress)
     n = len(workloads)
     results: dict[tuple[int, str], list[SimResult]] = {
         pair: flat[i * n:(i + 1) * n] for i, pair in enumerate(grid)
@@ -117,6 +120,7 @@ def sweep_epoch_length(
     jobs: int = 1,
     cache: Optional["ResultCache"] = None,
     shm: Optional[bool] = None,
+    progress: Optional["ProgressSink"] = None,
 ) -> dict[int, float]:
     """Sensitivity of DRIPPER to the adaptive scheme's epoch length.
 
@@ -140,7 +144,8 @@ def sweep_epoch_length(
             for workload in workloads
         )
     with grid_session(jobs, shm):
-        flat = run_cells(cells, jobs=jobs, cache=cache, obs=obs, shm=shm)
+        flat = run_cells(cells, jobs=jobs, cache=cache, obs=obs, shm=shm,
+                         progress=progress)
     n = len(workloads)
     base_runs = flat[:n]
     return {

@@ -22,6 +22,7 @@ from __future__ import annotations
 import logging
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from time import monotonic
 from typing import TYPE_CHECKING, Any, Iterator, Optional
 
 from repro.core.filter import PerceptronFilter
@@ -35,8 +36,18 @@ from repro.obs.journal import (
     merge_shards,
     read_journal,
 )
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_metrics,
+    reset_metrics,
+    to_json,
+    to_prometheus,
+)
 from repro.obs.profiling import NULL_PROBE, Probe, ScopedTimer
+from repro.obs.progress import GridProgress, ProgressSink, progress_printer
 from repro.obs.timeline import TIMELINE_FIELDS, TimelineRecorder
+from repro.obs.tracing import Tracer, current_tracer, install_tracer, trace_span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cpu.core import CoreEngine
@@ -48,8 +59,24 @@ _LOG = logging.getLogger("repro.obs")
 
 
 def log_event(event: str, **fields: Any) -> None:
-    """Emit one structured event on the ``repro.obs`` logger (DEBUG level)."""
-    _LOG.debug("%s %s", event, fields)
+    """Emit one structured event on the ``repro.obs`` logger (DEBUG level).
+
+    The record carries the event as real data, not just formatted text:
+    ``record.event_name`` (str), ``record.event_fields`` (the keyword dict),
+    and ``record.event_monotonic`` (a :func:`time.monotonic` stamp, so
+    intervals between events survive wall-clock adjustments) ride on the
+    ``LogRecord`` via ``extra=`` for any structured handler (JSON formatter,
+    log forwarder) while plain handlers still render ``"<event> <fields>"``.
+    """
+    if _LOG.isEnabledFor(logging.DEBUG):
+        _LOG.debug(
+            "%s %s", event, fields,
+            extra={
+                "event_name": event,
+                "event_fields": fields,
+                "event_monotonic": monotonic(),
+            },
+        )
 
 
 @dataclass
@@ -142,4 +169,17 @@ __all__ = [
     "Probe",
     "ScopedTimer",
     "NULL_PROBE",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "get_metrics",
+    "reset_metrics",
+    "to_prometheus",
+    "to_json",
+    "Tracer",
+    "install_tracer",
+    "current_tracer",
+    "trace_span",
+    "GridProgress",
+    "ProgressSink",
+    "progress_printer",
 ]

@@ -17,9 +17,14 @@ import socket
 from dataclasses import asdict
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import IO, Any, Optional
+from typing import IO, TYPE_CHECKING, Any, Optional
 
-from repro.cpu.simulator import SimConfig, SimResult
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # annotation-only: a runtime import would make `repro.obs` depend on
+    # `repro.cpu`, and the low-level packages (workloads.shm, cpu.simulator)
+    # import `repro.obs.metrics` at module top — keeping this lazy is what
+    # lets the obs package sit below everything it instruments
+    from repro.cpu.simulator import SimConfig, SimResult
 
 #: bump when the record layout changes incompatibly
 SCHEMA_VERSION = 1

@@ -178,8 +178,33 @@ def _pack_key(workload: Workload, warmup: int, sim: int) -> tuple:
 
 
 _PACK_CACHE: OrderedDict[tuple, PackedTrace] = OrderedDict()
-#: hit/miss/eviction counters for the process-wide cache (see pack_cache_stats)
-_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+#: lazily bound (hits, misses, evictions, shared_hits, bytes-gauge) registry
+#: instruments — bound on first use because `repro.workloads` and `repro.obs`
+#: import each other's packages (same cycle `log_event` dodges below)
+_PACK_METRICS = None
+
+
+def _pack_metrics():
+    global _PACK_METRICS
+    if _PACK_METRICS is None:
+        from repro.obs.metrics import get_metrics
+
+        reg = get_metrics()
+        _PACK_METRICS = (
+            reg.counter("pack_cache.hits", "pack-cache lookups served locally"),
+            reg.counter("pack_cache.misses", "pack-cache lookups that packed"),
+            reg.counter("pack_cache.evictions", "packs evicted by the LRU bound"),
+            reg.counter("pack_cache.shared_hits",
+                        "lookups served by the shared (shm) provider"),
+            reg.gauge("pack_cache.bytes", "resident bytes of locally cached packs"),
+        )
+    return _PACK_METRICS
+
+
+def _update_bytes_gauge() -> None:
+    _pack_metrics()[4].set(
+        sum(packed.nbytes() for packed in _PACK_CACHE.values()))
 
 #: consulted by :func:`get_packed` before the local cache; returns a shared
 #: (e.g. shm-attached) pack for a key, or None to fall through.  Installed by
@@ -207,22 +232,35 @@ def set_pack_cache_capacity(capacity: int) -> int:
         raise ValueError(f"pack cache capacity must be >= 1, got {capacity}")
     previous = _CACHE_CAPACITY
     _CACHE_CAPACITY = capacity
-    while len(_PACK_CACHE) > _CACHE_CAPACITY:
-        _evict_oldest()
+    if len(_PACK_CACHE) > _CACHE_CAPACITY:
+        while len(_PACK_CACHE) > _CACHE_CAPACITY:
+            _evict_oldest()
+        _update_bytes_gauge()
     return previous
 
 
 def pack_cache_stats() -> dict[str, int]:
-    """Hit/miss/eviction counters plus current size/capacity (a copy)."""
-    stats = dict(_CACHE_STATS)
-    stats["size"] = len(_PACK_CACHE)
-    stats["capacity"] = _CACHE_CAPACITY
-    return stats
+    """Hit/miss/eviction counters plus current size/capacity (a copy).
+
+    The counters live in the process-wide
+    :class:`~repro.obs.metrics.MetricsRegistry` (so grid workers ship them
+    back with their chunks); this accessor keeps the historical dict shape.
+    """
+    hits, misses, evictions, shared, _bytes = _pack_metrics()
+    return {
+        "hits": int(hits.total()),
+        "misses": int(misses.total()),
+        "evictions": int(evictions.total()),
+        "shared_hits": int(shared.total()),
+        "size": len(_PACK_CACHE),
+        "capacity": _CACHE_CAPACITY,
+    }
 
 
 def _evict_oldest() -> None:
     key, packed = _PACK_CACHE.popitem(last=False)
-    _CACHE_STATS["evictions"] += 1
+    evictions = _pack_metrics()[2]
+    evictions.inc()
     # observability: a thrashing cache (grid wider than the capacity) shows
     # up as a steady eviction stream on the repro.obs logger
     from repro.obs import log_event
@@ -231,7 +269,7 @@ def _evict_oldest() -> None:
         "pack-cache-eviction",
         workload=packed.name,
         bytes=packed.nbytes(),
-        evictions=_CACHE_STATS["evictions"],
+        evictions=int(evictions.total()),
         capacity=_CACHE_CAPACITY,
     )
 
@@ -249,21 +287,27 @@ def get_packed(workload: Workload, warmup: int, sim: int, *,
     """
     if capacity is not None:
         set_pack_cache_capacity(capacity)
+    metrics = _pack_metrics()
     key = _pack_key(workload, warmup, sim)
     if _SHARED_PROVIDER is not None:
         packed = _SHARED_PROVIDER(key)
         if packed is not None:
+            metrics[3].inc()
             return packed
     packed = _PACK_CACHE.get(key)
     if packed is not None:
-        _CACHE_STATS["hits"] += 1
+        metrics[0].inc()
         _PACK_CACHE.move_to_end(key)
         return packed
-    _CACHE_STATS["misses"] += 1
-    packed = PackedTrace.from_workload(workload, warmup, sim)
+    metrics[1].inc()
+    from repro.obs.tracing import trace_span
+
+    with trace_span("pack", workload=workload.name, warmup=warmup, sim=sim):
+        packed = PackedTrace.from_workload(workload, warmup, sim)
     _PACK_CACHE[key] = packed
     while len(_PACK_CACHE) > _CACHE_CAPACITY:
         _evict_oldest()
+    _update_bytes_gauge()
     return packed
 
 
@@ -271,6 +315,10 @@ def clear_pack_cache() -> None:
     """Drop every cached pack (tests, forked workers, memory pressure).
 
     Counters survive a clear (they audit process lifetime, not cache
-    contents); drops are not counted as evictions.
+    contents); drops are not counted as evictions.  Forked grid workers
+    additionally reset the whole metrics registry
+    (:func:`repro.obs.metrics.reset_metrics`) so the parent's warm-up packs
+    are not double-counted in merged grid metrics.
     """
     _PACK_CACHE.clear()
+    _update_bytes_gauge()

@@ -49,8 +49,22 @@ from multiprocessing import shared_memory
 from pathlib import Path
 from typing import Any, Optional
 
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import trace_span
 from repro.workloads.packed import PackedTrace, _pack_key, get_packed
 from repro.workloads.trace import Workload
+
+#: shm lifecycle instruments (event granularity: publish/attach/close only)
+_SEGMENTS_GAUGE = get_metrics().gauge(
+    "shm.live_segments", "shm segments + spill files currently owned")
+_BYTES_GAUGE = get_metrics().gauge(
+    "shm.live_bytes", "payload bytes published through the pack store")
+_PUBLISHED = get_metrics().counter(
+    "shm.published", "packs published (segments + spill files)")
+_SPILLED = get_metrics().counter(
+    "shm.spilled", "packs that spilled to an mmap file instead of /dev/shm")
+_ATTACH_COUNTER = get_metrics().counter(
+    "shm.attached", "zero-copy pack attachments made by this process")
 
 __all__ = [
     "PackHandle",
@@ -185,6 +199,13 @@ class SharedPackStore:
             return None
         handle = self._export(key, packed)
         self._handles[key] = handle
+        _PUBLISHED.inc()
+        _SEGMENTS_GAUGE.set(len(self._segments) + len(self._spill_paths))
+        _BYTES_GAUGE.set(self.nbytes())
+        from repro.obs import log_event
+
+        log_event("shm-publish", workload=handle.name, kind=handle.kind,
+                  bytes=handle.nbytes(), records=handle.n_records)
         return handle
 
     def _export(self, key: tuple, packed: PackedTrace) -> PackHandle:
@@ -226,6 +247,7 @@ class SharedPackStore:
         mm = mmap.mmap(fd, total)
         os.close(fd)
         self._spill_paths.append(Path(path))
+        _SPILLED.inc()
         return "file", path, mm
 
     # -- introspection ----------------------------------------------------
@@ -266,6 +288,11 @@ class SharedPackStore:
                 pass
         self._spill_paths.clear()
         self._handles.clear()
+        _SEGMENTS_GAUGE.set(0)
+        _BYTES_GAUGE.set(0)
+        from repro.obs import log_event
+
+        log_event("shm-close", pid=os.getpid())
         atexit.unregister(self.close)
 
     def __enter__(self) -> "SharedPackStore":
@@ -289,13 +316,16 @@ def attach_pack(handle: PackHandle) -> PackedTrace:
     entry = _ATTACHED.get(handle.ref)
     if entry is not None:
         return entry[-1]
-    if handle.kind == "shm":
-        seg = _attach_segment(handle.ref)
-        views = _views_over(seg.buf, handle.n_records)
-    else:
-        with open(handle.ref, "rb") as fh:
-            seg = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
-        views = _views_over(seg, handle.n_records)
+    with trace_span("shm-attach", category="shm", workload=handle.name,
+                    kind=handle.kind, bytes=handle.nbytes()):
+        if handle.kind == "shm":
+            seg = _attach_segment(handle.ref)
+            views = _views_over(seg.buf, handle.n_records)
+        else:
+            with open(handle.ref, "rb") as fh:
+                seg = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            views = _views_over(seg, handle.n_records)
+    _ATTACH_COUNTER.inc()
     base, pcs, vaddrs, flags, gaps = views
     packed = PackedTrace(
         handle.name, handle.suite, pcs, vaddrs, flags, gaps,

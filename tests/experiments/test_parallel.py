@@ -285,3 +285,73 @@ class TestRunPoliciesPrefetcherFix:
         out = run_policies(_workloads(("astar",)), ["discard"], prefetcher="berti",
                            base_spec=spec)
         assert out["discard"][0].prefetcher == "berti"
+
+
+class TestGridTelemetry:
+    def test_worker_metric_deltas_merge_into_parent(self):
+        from repro.obs.metrics import get_metrics
+
+        cells = [cell_for(w, FAST) for w in _workloads(("astar", "hmmer"))] * 2
+        grid_cells = get_metrics().counter("grid.cells")
+        before = {key: v for key, v in grid_cells._values.items()}
+        run_cells(cells, jobs=2)
+        landed = {
+            key: v - before.get(key, 0)
+            for key, v in grid_cells._values.items()
+            if v != before.get(key, 0)
+        }
+        assert sum(landed.values()) == len(cells)
+        # the cells ran in worker processes: their pids, not the parent's
+        import os
+
+        parent = (("pid", str(os.getpid())),)
+        assert parent not in landed
+        assert len(landed) >= 1  # at least one worker pid lane
+
+    def test_worker_spans_absorbed_with_worker_pids(self, tmp_path):
+        import json
+        import os
+
+        from repro.obs.tracing import Tracer, install_tracer
+
+        tracer = Tracer(role="parent")
+        previous = install_tracer(tracer)
+        try:
+            cells = [cell_for(w, FAST) for w in _workloads(("astar", "hmmer"))]
+            run_cells(cells, jobs=2)
+        finally:
+            install_tracer(previous)
+        out = tmp_path / "trace.json"
+        count = tracer.write_chrome_trace(out)
+        assert count >= len(cells)  # at least one span per cell
+        doc = json.loads(out.read_text())
+        span_pids = {e["pid"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert os.getpid() not in span_pids or len(span_pids) > 1
+        assert any(pid != os.getpid() for pid in span_pids)
+        names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert "cell" in names and "drive" in names
+
+    def test_telemetry_off_results_bit_identical(self):
+        from repro.obs.tracing import Tracer, install_tracer
+
+        cells = [cell_for(w, FAST) for w in _workloads(("astar",))]
+        plain = run_cells(cells, jobs=1)
+        tracer = Tracer(role="parent")
+        previous = install_tracer(tracer)
+        try:
+            traced = run_cells(cells, jobs=1)
+        finally:
+            install_tracer(previous)
+        assert plain == traced  # dataclass equality, field-exact
+
+    def test_parallel_identical_with_and_without_tracer(self, tmp_path):
+        from repro.obs.tracing import Tracer, install_tracer
+
+        cells = [cell_for(w, FAST) for w in _workloads(("astar", "hmmer"))]
+        plain = run_cells(cells, jobs=2)
+        previous = install_tracer(Tracer(role="parent"))
+        try:
+            traced = run_cells(cells, jobs=2)
+        finally:
+            install_tracer(previous)
+        assert plain == traced

@@ -136,6 +136,70 @@ class TestShardMerge:
         parent = RunJournal(tmp_path / "runs.jsonl")
         assert merge_shards(parent, tmp_path) == 0
 
+    def test_merge_tolerates_empty_shards(self, tmp_path):
+        # a worker whose chunk raised before its first record leaves a
+        # zero-byte (or blank-line-only) shard behind
+        from repro.obs import merge_shards
+
+        (tmp_path / "shard-a.jsonl").write_text("")
+        (tmp_path / "shard-b.jsonl").write_text("\n\n")
+        with RunJournal(tmp_path / "shard-c.jsonl") as j:
+            j.append_record({"schema": 1, "workload": {"name": "w1"}})
+        parent = RunJournal(tmp_path / "runs.jsonl")
+        merged = merge_shards(parent, tmp_path, pattern="shard-*.jsonl", consume=True)
+        parent.close()
+        assert merged == 1
+        assert list(tmp_path.glob("shard-*.jsonl")) == []  # empties consumed too
+
+    def test_merge_partial_shard_keeps_complete_records(self, tmp_path):
+        # blank lines interspersed with records (flush boundaries) are skipped
+        from repro.obs import merge_shards
+
+        lines = ['{"schema": 1, "workload": {"name": "w1"}}', "",
+                 '{"schema": 1, "workload": {"name": "w2"}}', ""]
+        (tmp_path / "shard-a.jsonl").write_text("\n".join(lines))
+        parent = RunJournal(tmp_path / "runs.jsonl")
+        assert merge_shards(parent, tmp_path, pattern="shard-*.jsonl") == 2
+        parent.close()
+        names = [r["workload"]["name"] for r in read_journal(tmp_path / "runs.jsonl")]
+        assert names == ["w1", "w2"]
+
+    def test_merge_interleaved_worker_shards(self, tmp_path):
+        # two workers flushing per-chunk shards whose sequence numbers
+        # interleave: merge order is sorted-filename, in-shard order kept
+        from repro.obs import merge_shards
+
+        shards = {
+            "shard-00000001-000001.jsonl": ["a1", "a2"],
+            "shard-00000002-000001.jsonl": ["b1"],
+            "shard-00000001-000002.jsonl": ["a3"],
+            "shard-00000002-000002.jsonl": ["b2", "b3"],
+        }
+        for name, records in shards.items():
+            with RunJournal(tmp_path / name) as j:
+                for rec in records:
+                    j.append_record({"schema": 1, "workload": {"name": rec}})
+        parent = RunJournal(tmp_path / "runs.jsonl")
+        merged = merge_shards(parent, tmp_path, pattern="shard-*.jsonl", consume=True)
+        parent.close()
+        assert merged == 6
+        names = [r["workload"]["name"] for r in read_journal(tmp_path / "runs.jsonl")]
+        assert names == ["a1", "a2", "a3", "b1", "b2", "b3"]
+        assert list(tmp_path.glob("shard-*.jsonl")) == []
+
+    def test_merge_twice_without_consume_double_counts(self, tmp_path):
+        # documents why persistent sessions must consume: shards left behind
+        # are folded in again on the next merge from the same directory
+        from repro.obs import merge_shards
+
+        with RunJournal(tmp_path / "shard-a.jsonl") as j:
+            j.append_record({"schema": 1, "workload": {"name": "w"}})
+        parent = RunJournal(tmp_path / "runs.jsonl")
+        assert merge_shards(parent, tmp_path, pattern="shard-*.jsonl") == 1
+        assert merge_shards(parent, tmp_path, pattern="shard-*.jsonl") == 1
+        parent.close()
+        assert len(read_journal(tmp_path / "runs.jsonl")) == 2
+
 
 class TestObservabilityBundle:
     def test_captures_filter_state_and_wall(self):

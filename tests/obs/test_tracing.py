@@ -1,0 +1,116 @@
+"""Span tracing: recording, shard flush/absorb, Chrome trace export."""
+
+import json
+
+from repro.obs.tracing import (
+    Tracer,
+    current_tracer,
+    install_tracer,
+    trace_span,
+    write_chrome_trace,
+)
+
+
+class TestTracerSlot:
+    def test_trace_span_is_a_noop_without_a_tracer(self):
+        assert current_tracer() is None
+        with trace_span("anything", workload="astar"):
+            pass  # must not raise, must not record anywhere
+
+    def test_install_returns_previous(self):
+        t = Tracer()
+        assert install_tracer(t) is None
+        try:
+            assert current_tracer() is t
+        finally:
+            assert install_tracer(None) is t
+
+    def test_trace_span_records_on_installed_tracer(self):
+        t = Tracer(role="parent")
+        install_tracer(t)
+        try:
+            with trace_span("pack", category="pack", workload="astar"):
+                pass
+        finally:
+            install_tracer(None)
+        (event,) = t.chrome_events()[1:]  # [0] is process_name metadata
+        assert event["name"] == "pack"
+        assert event["ph"] == "X"
+        assert event["args"]["workload"] == "astar"
+        assert event["dur"] >= 1
+
+
+class TestShardRoundTrip:
+    def test_flush_empty_buffer_writes_nothing(self, tmp_path):
+        t = Tracer()
+        assert t.flush_shard(tmp_path) is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_flush_and_absorb_preserves_events_and_roles(self, tmp_path):
+        worker = Tracer(role="worker")
+        # simulate a genuinely distinct worker process (same-pid tests would
+        # collapse both lanes onto one process_name entry)
+        worker.pid = 99_999
+        worker._roles = {worker.pid: "worker"}
+        with worker.span("drive", workload="astar"):
+            pass
+        with worker.span("collect", workload="astar"):
+            pass
+        shard = worker.flush_shard(tmp_path)
+        assert shard is not None and shard.name.startswith("spans-")
+        assert len(worker) == 0  # buffer cleared
+
+        parent = Tracer(role="parent")
+        absorbed = parent.absorb_shards(tmp_path)
+        assert absorbed == 2
+        assert list(tmp_path.glob("spans-*.jsonl")) == []  # consumed
+        names = [e["name"] for e in parent.chrome_events() if e["ph"] == "X"]
+        assert names == ["drive", "collect"]
+        # worker's pid appears as its own named process lane
+        metadata = [e for e in parent.chrome_events() if e["ph"] == "M"]
+        lanes = {e["args"]["name"] for e in metadata}
+        assert any(name.startswith("repro-worker-") for name in lanes)
+        assert any(name.startswith("repro-parent-") for name in lanes)
+
+    def test_absorb_without_consume_keeps_shards(self, tmp_path):
+        t = Tracer()
+        with t.span("x"):
+            pass
+        t.flush_shard(tmp_path)
+        parent = Tracer()
+        assert parent.absorb_shards(tmp_path, consume=False) == 1
+        assert len(list(tmp_path.glob("spans-*.jsonl"))) == 1
+
+    def test_multiple_chunks_produce_sequenced_shards(self, tmp_path):
+        t = Tracer()
+        for _ in range(3):
+            with t.span("chunk"):
+                pass
+            t.flush_shard(tmp_path)
+        shards = sorted(p.name for p in tmp_path.glob("spans-*.jsonl"))
+        assert len(shards) == 3
+        assert shards == sorted(shards)
+
+
+class TestChromeExport:
+    def test_written_file_is_loadable_chrome_trace_json(self, tmp_path):
+        t = Tracer(role="parent")
+        with t.span("drive", workload="astar", mode="packed"):
+            pass
+        t.instant("cell-finish", index=0)
+        out = tmp_path / "trace.json"
+        count = t.write_chrome_trace(out)
+        assert count == 2
+        doc = json.loads(out.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"X", "i", "M"} <= phases
+        for e in doc["traceEvents"]:
+            assert {"name", "ph", "pid"} <= set(e)
+
+    def test_write_chrome_trace_counts_only_real_events(self, tmp_path):
+        events = [
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {}},
+            {"name": "s", "ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 1},
+        ]
+        assert write_chrome_trace(events, tmp_path / "t.json") == 1

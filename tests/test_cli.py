@@ -272,3 +272,95 @@ class TestValidate:
         names = {check["name"] for check in payload["checks"]}
         assert any(name.startswith("determinism") for name in names)
         assert any(name.startswith("mutation-detected") for name in names)
+
+
+class TestTelemetryFlags:
+    FAST = ["--warmup", "1000", "--sim", "3000"]
+
+    def test_run_metrics_out_prometheus(self, tmp_path, capsys):
+        out = tmp_path / "m.prom"
+        code = main(["run", "--workload", "astar", "--policy", "discard",
+                     *self.FAST, "--packed", "--metrics-out", str(out)])
+        assert code == 0
+        from repro.obs.metrics import parse_prometheus, summarize
+
+        samples = parse_prometheus(out.read_text())
+        assert summarize(samples, "sim_drives_total") >= 1
+        assert f"-> {out}" in capsys.readouterr().err
+
+    def test_run_metrics_out_json(self, tmp_path):
+        out = tmp_path / "m.json"
+        assert main(["run", "--workload", "astar", "--policy", "discard",
+                     *self.FAST, "--metrics-out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert {s["name"] for s in doc["samples"]} >= {"sim.drives"}
+
+    def test_run_trace_out_chrome_json(self, tmp_path, capsys):
+        from repro.workloads.packed import clear_pack_cache
+
+        clear_pack_cache()  # a warm cache would skip the "pack" span
+        out = tmp_path / "t.json"
+        code = main(["run", "--workload", "astar", "--policy", "discard",
+                     *self.FAST, "--packed", "--trace-out", str(out)])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert {"pack", "drive", "collect"} <= names
+        assert "span(s)" in capsys.readouterr().err
+
+    def test_trace_out_does_not_leak_into_later_commands(self, tmp_path):
+        from repro.obs.tracing import current_tracer
+
+        out = tmp_path / "t.json"
+        main(["run", "--workload", "astar", "--policy", "discard",
+              *self.FAST, "--trace-out", str(out)])
+        assert current_tracer() is None  # uninstalled after emitting
+
+    def test_compare_progress_lines(self, capsys):
+        code = main(["compare", "--workload", "astar",
+                     "--policies", "discard", "dripper", *self.FAST,
+                     "--jobs", "2", "--progress"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "grid: 2 cell(s)" in err
+        assert "grid: done in" in err
+
+
+class TestStatusCommand:
+    FAST = ["--warmup", "1000", "--sim", "3000"]
+
+    def _journal(self, tmp_path):
+        journal = tmp_path / "runs.jsonl"
+        main(["compare", "--workload", "astar",
+              "--policies", "discard", "dripper", *self.FAST,
+              "--journal", str(journal)])
+        return journal
+
+    def test_status_table(self, tmp_path, capsys):
+        journal = self._journal(tmp_path)
+        capsys.readouterr()
+        assert main(["status", "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "runs" in out and "astar" in out
+        assert "per policy" in out
+
+    def test_status_json_with_metrics(self, tmp_path, capsys):
+        journal = tmp_path / "runs.jsonl"
+        metrics = tmp_path / "m.prom"
+        main(["compare", "--workload", "astar",
+              "--policies", "discard", "dripper", *self.FAST,
+              "--journal", str(journal), "--metrics-out", str(metrics)])
+        capsys.readouterr()
+        assert main(["status", "--journal", str(journal),
+                     "--metrics", str(metrics), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["runs"] == 2
+        assert payload["summary"]["workloads"] == ["astar"]
+        assert payload["summary"]["instructions"] > 0
+        assert any(k.startswith("sim_drives_total") for k in payload["metrics"])
+
+    def test_status_empty_journal_fails(self, tmp_path, capsys):
+        journal = tmp_path / "empty.jsonl"
+        journal.write_text("")
+        assert main(["status", "--journal", str(journal)]) == 1
+        assert "no records" in capsys.readouterr().err
