@@ -91,6 +91,7 @@ def _spec(args: argparse.Namespace, policy: str) -> RunSpec:
         large_page_fraction=args.large_pages,
         validate=getattr(args, "validate", False),
         packed=getattr(args, "packed", False),
+        kernel=getattr(args, "kernel", "fused"),
     )
 
 
@@ -300,6 +301,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         sim_instructions=args.sim,
         validate=args.validate,
         packed=args.packed,
+        kernel=args.kernel,
     )
     _setup_telemetry(args)
     obs = _make_obs(args)
@@ -577,6 +579,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--packed", action="store_true",
                        help="drive the simulation through the packed-trace fast "
                             "path (bit-identical results, substantially faster)")
+        p.add_argument("--kernel", choices=("fused", "vectorized"),
+                       default="fused",
+                       help="packed kernel tier: 'vectorized' skips uneventful "
+                            "spans with numpy scans (implies --packed; "
+                            "bit-identical results)")
 
     def add_parallel_args(p: argparse.ArgumentParser) -> None:
         g = p.add_argument_group("execution")
@@ -648,6 +655,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="attach the runtime invariant checker to every run")
     swp_p.add_argument("--packed", action="store_true",
                        help="drive every run through the packed-trace fast path")
+    swp_p.add_argument("--kernel", choices=("fused", "vectorized"),
+                       default="fused",
+                       help="packed kernel tier for every run (vectorized "
+                            "implies --packed)")
     add_parallel_args(swp_p)
     add_obs_args(swp_p)
     swp_p.set_defaults(func=cmd_sweep)

@@ -59,7 +59,8 @@ __all__ = ["drive_packed"]
 #: same instrument the generator loop increments (mode="generator"); one
 #: increment per drive entry, so the hot loop itself stays untouched
 _DRIVES = get_metrics().counter(
-    "sim.drives", "drive-loop entries by mode (generator/fused/stepwise)")
+    "sim.drives",
+    "drive-loop entries by mode (generator/fused/stepwise/vectorized)")
 
 
 def _lru_fusible(cache) -> bool:
@@ -271,13 +272,24 @@ def drive_packed(engine: CoreEngine, packed: PackedTrace, config) -> float:
     truncated measured region.  Behaviour (every statistic, every timestamp)
     is identical to driving the same records through ``engine.step``.
     """
-    warm_limit = config.warmup_instructions
-    sim_limit = config.sim_instructions
     if engine.probe is not None:
         # profiled run: fusion would bypass the probe's timed seams
         _DRIVES.inc(mode="stepwise")
-        return _drive_stepwise(engine, packed, warm_limit, sim_limit)
+        return _drive_stepwise(engine, packed,
+                               config.warmup_instructions,
+                               config.sim_instructions)
     _DRIVES.inc(mode="fused")
+    return _drive_fused(engine, packed, config)
+
+
+def _drive_fused(engine: CoreEngine, packed: PackedTrace, config) -> float:
+    """The fused record-at-a-time kernel (no mode accounting of its own).
+
+    Shared by :func:`drive_packed` and — for event records and ineligible
+    engines — :func:`repro.cpu.fastpath_vec.drive_packed_vec`.
+    """
+    warm_limit = config.warmup_instructions
+    sim_limit = config.sim_instructions
 
     # ---- loop-invariant hoists ------------------------------------------
     end_epoch = engine._end_epoch

@@ -40,7 +40,16 @@ class MixResult:
         """Sum over cores of IPC_multicore / IPC_isolation."""
         if len(isolation_ipcs) != len(self.results):
             raise ValueError("isolation IPC count does not match core count")
-        return sum(r.ipc / iso for r, iso in zip(self.results, isolation_ipcs))
+        total = 0.0
+        for i, (r, iso) in enumerate(zip(self.results, isolation_ipcs)):
+            if iso == 0:
+                raise ValueError(
+                    f"isolation IPC for core {i} ({r.workload!r}) is zero; "
+                    "weighted speedup is undefined (did the isolation run "
+                    "retire anything?)"
+                )
+            total += r.ipc / iso
+        return total
 
 
 def simulate_mix(workloads: Sequence[SyntheticWorkload], config: SimConfig) -> MixResult:
@@ -51,13 +60,18 @@ def simulate_mix(workloads: Sequence[SyntheticWorkload], config: SimConfig) -> M
     llc = Cache(params.llc, writeback=dram.write)
     engines = []
     budgets = []
+    core_configs = []
     for i, workload in enumerate(workloads):
-        core_config = replace(config, params=params, asid=i)
-        engines.append(build_engine(core_config, shared_llc=llc, shared_dram=dram))
         warmup, sim = config.warmup_instructions, config.sim_instructions
         if workload.suite.startswith("QMM"):
             warmup, sim = warmup // 2, sim // 2
+        # the per-core config carries the (possibly halved) budgets so the
+        # journaled requested_instructions matches what the core measures
+        core_config = replace(config, params=params, asid=i,
+                              warmup_instructions=warmup, sim_instructions=sim)
+        engines.append(build_engine(core_config, shared_llc=llc, shared_dram=dram))
         budgets.append((warmup, sim))
+        core_configs.append(core_config)
     iterators = [iter(w.generate()) for w in workloads]
     measuring = [False] * cores
     finished: list[SimResult | None] = [None] * cores
@@ -84,7 +98,7 @@ def simulate_mix(workloads: Sequence[SyntheticWorkload], config: SimConfig) -> M
         # measured-region completion, not a raw warm+sim total: a gap that
         # overshoots the warm-up boundary must not shorten the measured region
         if finished[i] is None and measuring[i] and engine.measured_instructions >= sim_limit:
-            finished[i] = collect_result(engine, workloads[i].name, config)
+            finished[i] = collect_result(engine, workloads[i].name, core_configs[i])
             remaining -= 1
             # replay: the core keeps running to stress shared resources
             iterators[i] = iter(workloads[i].generate())

@@ -35,10 +35,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 PolicyFactory = Callable[[], PageCrossPolicy]
 
 #: one increment per drive-loop entry, labelled by mode (``generator`` |
-#: ``fused`` | ``stepwise``) — the fast-path-vs-fallback ratio of a grid is
-#: readable straight off the merged metrics
+#: ``fused`` | ``stepwise`` | ``vectorized``) — the fast-path-vs-fallback
+#: ratio of a grid is readable straight off the merged metrics
 _DRIVES = get_metrics().counter(
-    "sim.drives", "drive-loop entries by mode (generator/fused/stepwise)")
+    "sim.drives",
+    "drive-loop entries by mode (generator/fused/stepwise/vectorized)")
 
 
 @dataclass
@@ -63,6 +64,11 @@ class SimConfig:
     #: cached :class:`~repro.workloads.packed.PackedTrace` instead of the
     #: per-record generator loop; results are bit-identical either way
     packed: bool = False
+    #: packed kernel tier: ``"fused"`` (record-at-a-time, PR 4/5) or
+    #: ``"vectorized"`` (span-skipping numpy scans,
+    #: :mod:`repro.cpu.fastpath_vec`).  Selecting ``"vectorized"`` implies
+    #: the packed path; results are bit-identical across tiers
+    kernel: str = "fused"
 
 
 @dataclass
@@ -323,13 +329,22 @@ def simulate(
 
         checker = InvariantChecker(obs=obs, workload=workload.name)
         checker.attach(engine)
-    if config.packed:
-        from repro.cpu.fastpath import drive_packed
+    if config.kernel not in ("fused", "vectorized"):
+        raise ValueError(
+            f"unknown packed kernel tier {config.kernel!r}; "
+            "expected 'fused' or 'vectorized'"
+        )
+    if config.packed or config.kernel == "vectorized":
         from repro.workloads.packed import get_packed
+
+        if config.kernel == "vectorized":
+            from repro.cpu.fastpath_vec import drive_packed_vec as _drive
+        else:
+            from repro.cpu.fastpath import drive_packed as _drive
 
         packed = get_packed(workload, config.warmup_instructions, config.sim_instructions)
         with trace_span("drive", workload=workload.name, mode="packed"):
-            wall_seconds = drive_packed(engine, packed, config)
+            wall_seconds = _drive(engine, packed, config)
     else:
         with trace_span("drive", workload=workload.name, mode="generator"):
             wall_seconds = drive(engine, workload, config)

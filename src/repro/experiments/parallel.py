@@ -164,6 +164,7 @@ def cell_fingerprint(cell: Cell, workload: Optional[Any] = None) -> str:
     # packed fast path is bit-identical by contract, so it shares them too
     spec_dump.pop("validate", None)
     spec_dump.pop("packed", None)
+    spec_dump.pop("kernel", None)
     identity = describe_workload(workload)
     for knob in ("store_fraction", "code_lines", "mispredict_rate",
                  "branch_profile", "pcs_per_pattern", "path"):

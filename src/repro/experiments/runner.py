@@ -66,6 +66,10 @@ class RunSpec:
     #: drive each run through the packed fast path (bit-identical results;
     #: like `validate`, excluded from the cell fingerprint)
     packed: bool = False
+    #: packed kernel tier ("fused" or "vectorized"); "vectorized" implies
+    #: the packed path and — being bit-identical — is also excluded from
+    #: the cell fingerprint
+    kernel: str = "fused"
 
     def config_for(self, workload: SyntheticWorkload) -> SimConfig:
         """Materialise a SimConfig (QMM workloads run half-length traces)."""
@@ -91,6 +95,7 @@ class RunSpec:
             prefetcher_extra_storage=ISO_STORAGE_BYTES if self.policy.lower().startswith("iso") else 0,
             validate=self.validate,
             packed=self.packed,
+            kernel=self.kernel,
         )
 
 

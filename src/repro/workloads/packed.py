@@ -29,11 +29,20 @@ entirely.
 from __future__ import annotations
 
 import os
+import weakref
 from array import array
 from collections import OrderedDict
 from typing import Callable, Iterator, Optional
 
-from repro.workloads.trace import Record, Workload
+from repro.workloads.trace import (
+    BRANCH,
+    DEPENDS,
+    LOAD,
+    MISPREDICT,
+    Record,
+    STORE,
+    Workload,
+)
 
 
 def _capacity_from_env() -> int:
@@ -61,11 +70,61 @@ def _capacity_from_env() -> int:
 _CACHE_CAPACITY = _capacity_from_env()
 
 
+class PackIndex:
+    """Derived per-record arrays the vectorized drive kernel scans.
+
+    Built once per pack (lazily, on the first vectorized drive) from the
+    numpy column views — epoch/boundary positions come from the cumulative
+    instruction counts, I-line runs from the pc column, and the event mask
+    flags every record the span predicate can never clear by inspection
+    alone (branches, forced mispredicts, dependent loads, non-memory
+    records, and gaps large enough to trigger straight-line I-fetch).  All
+    integer arrays are ``int64`` so downstream arithmetic never hits
+    numpy's uint64/int64 promotion rules.
+    """
+
+    __slots__ = ("cum", "iline", "change", "vpage", "vline", "event",
+                 "isload", "isstore", "weight")
+
+    def __init__(self, packed: "PackedTrace"):
+        import numpy as np
+
+        pcs, vaddrs, flags, gaps = packed.columns()
+        g = gaps.astype(np.int64)
+        fl = flags.astype(np.int64)
+        #: absolute instruction count after record i (engines start at 0)
+        self.cum = np.cumsum(1 + g)
+        self.iline = (pcs >> np.uint64(6)).astype(np.int64)
+        self.vpage = (vaddrs >> np.uint64(12)).astype(np.int64)
+        self.vline = (vaddrs >> np.uint64(6)).astype(np.int64)
+        #: record i starts a new I-line run (first record always does:
+        #: engines start with ``_last_iline = -1``)
+        change = np.empty(len(g), dtype=bool)
+        if len(change):
+            change[0] = True
+            change[1:] = self.iline[1:] != self.iline[:-1]
+        self.change = change
+        #: records the span predicate must hand to the slow path regardless
+        #: of cache/TLB state: branch/mispredict/dependent flags, non-memory
+        #: records, and gaps >= 16 (``(gap*4)>>6`` straight-line I-fetch)
+        self.event = (
+            ((fl & (BRANCH | MISPREDICT | DEPENDS)) != 0)
+            | ((fl & (LOAD | STORE)) == 0)
+            | (g > 15)
+        )
+        self.isload = (fl & LOAD) != 0
+        self.isstore = (fl & STORE) != 0
+        #: per-record instruction weight (1 + gap) as float64; the drive
+        #: kernel multiplies by the engine's fetch/retire CPI per window
+        self.weight = (1 + g).astype(np.float64)
+
+
 class PackedTrace:
     """A finite, column-packed prefix of one workload's trace."""
 
     __slots__ = ("name", "suite", "pcs", "vaddrs", "flags", "gaps",
-                 "instructions", "warmup", "sim", "complete")
+                 "instructions", "warmup", "sim", "complete",
+                 "_views", "_index")
 
     def __init__(self, name: str, suite: str, pcs: array, vaddrs: array,
                  flags: array, gaps: array, *, warmup: int, sim: int,
@@ -84,6 +143,9 @@ class PackedTrace:
         #: False when the source trace ended before the window was covered
         #: (finite trace shorter than warm-up + measured region)
         self.complete = complete
+        #: lazily built numpy column views / vectorization index
+        self._views = None
+        self._index = None
 
     @classmethod
     def from_workload(cls, workload: Workload, warmup: int, sim: int) -> "PackedTrace":
@@ -140,6 +202,36 @@ class PackedTrace:
         return sum(col.itemsize * len(col)
                    for col in (self.pcs, self.vaddrs, self.flags, self.gaps))
 
+    def columns(self):
+        """Zero-copy numpy views over the four columns.
+
+        Works over both locally packed ``array`` columns and the
+        ``memoryview`` columns of an shm/file-attached pack — anything
+        exposing the buffer protocol.  Returned as
+        ``(pcs u64, vaddrs u64, flags u16, gaps u32)``, cached per pack.
+        """
+        if self._views is None:
+            import numpy as np
+
+            self._views = (
+                np.frombuffer(self.pcs, dtype=np.uint64),
+                np.frombuffer(self.vaddrs, dtype=np.uint64),
+                np.frombuffer(self.flags, dtype=np.uint16),
+                np.frombuffer(self.gaps, dtype=np.uint32),
+            )
+        return self._views
+
+    def index(self) -> PackIndex:
+        """The pack's :class:`PackIndex` (built once, cached).
+
+        shm-attached packs build their own index per process — the derived
+        arrays are private to the attaching worker, only the four raw
+        columns are shared.
+        """
+        if self._index is None:
+            self._index = PackIndex(self)
+        return self._index
+
 
 class PackedWorkload:
     """A :class:`Workload` replaying a :class:`PackedTrace`.
@@ -166,8 +258,12 @@ def _pack_key(workload: Workload, warmup: int, sim: int) -> tuple:
     Registry workloads are identified by (name, suite, seed) — the registry
     builds each exactly once per process and generation is seed-deterministic.
     File-backed workloads key on their path; anything else falls back to the
-    object id, which is safe (never stale) but only hits while the caller
-    holds the same object.
+    object id.  An id-keyed entry only hits while the caller holds the same
+    object, and — because CPython recycles ``id()`` as soon as the object is
+    collected — it is only *valid* that long too: :func:`get_packed` pins a
+    weak reference whose death callback drops the entry, so a recycled id
+    can never serve a stale pack (and unreferenceable objects are simply
+    not cached).
     """
     seed = getattr(workload, "seed", None)
     path = getattr(workload, "path", None)
@@ -178,6 +274,15 @@ def _pack_key(workload: Workload, warmup: int, sim: int) -> tuple:
 
 
 _PACK_CACHE: OrderedDict[tuple, PackedTrace] = OrderedDict()
+
+#: weak references pinning the anonymous (id-keyed) cache entries to their
+#: living workload objects; the death callback invalidates the entry before
+#: CPython can hand the id to a new allocation
+_ANON_REFS: dict[tuple, "weakref.ref[Workload]"] = {}
+
+#: running byte total of the locally cached packs, maintained incrementally
+#: on insert/evict/clear so the gauge update is O(1) on the pack hot path
+_CACHE_BYTES = 0
 
 #: lazily bound (hits, misses, evictions, shared_hits, bytes-gauge) registry
 #: instruments — bound on first use because `repro.workloads` and `repro.obs`
@@ -203,8 +308,9 @@ def _pack_metrics():
 
 
 def _update_bytes_gauge() -> None:
-    _pack_metrics()[4].set(
-        sum(packed.nbytes() for packed in _PACK_CACHE.values()))
+    """Publish the running byte total (O(1); the total is maintained
+    incrementally on insert/evict/clear, never re-summed on the hot path)."""
+    _pack_metrics()[4].set(_CACHE_BYTES)
 
 #: consulted by :func:`get_packed` before the local cache; returns a shared
 #: (e.g. shm-attached) pack for a key, or None to fall through.  Installed by
@@ -258,7 +364,12 @@ def pack_cache_stats() -> dict[str, int]:
 
 
 def _evict_oldest() -> None:
+    global _CACHE_BYTES
     key, packed = _PACK_CACHE.popitem(last=False)
+    _CACHE_BYTES -= packed.nbytes()
+    # the death callback (if any) checks _ANON_REFS before touching the
+    # cache, so popping here fully retires an anonymous entry
+    _ANON_REFS.pop(key, None)
     evictions = _pack_metrics()[2]
     evictions.inc()
     # observability: a thrashing cache (grid wider than the capacity) shows
@@ -272,6 +383,26 @@ def _evict_oldest() -> None:
         evictions=int(evictions.total()),
         capacity=_CACHE_CAPACITY,
     )
+
+
+def _make_anon_reaper(key: tuple) -> Callable[[object], None]:
+    """Death callback dropping an id-keyed cache entry with its workload.
+
+    Fires at referent finalisation — before CPython can hand the id to a
+    new allocation — so a recycled id can never hit a stale pack.  Guarded
+    on ``_ANON_REFS`` because eviction/clear may have retired the entry
+    (and possibly re-inserted a new one under the same recycled key) first.
+    """
+    def _reap(ref: object, key: tuple = key) -> None:
+        global _CACHE_BYTES
+        if _ANON_REFS.get(key) is not ref:
+            return
+        del _ANON_REFS[key]
+        packed = _PACK_CACHE.pop(key, None)
+        if packed is not None:
+            _CACHE_BYTES -= packed.nbytes()
+            _update_bytes_gauge()
+    return _reap
 
 
 def get_packed(workload: Workload, warmup: int, sim: int, *,
@@ -304,7 +435,20 @@ def get_packed(workload: Workload, warmup: int, sim: int, *,
 
     with trace_span("pack", workload=workload.name, warmup=warmup, sim=sim):
         packed = PackedTrace.from_workload(workload, warmup, sim)
+    anonymous = getattr(workload, "seed", None) is None and \
+        getattr(workload, "path", None) is None
+    if anonymous:
+        # id-keyed entries are only valid while the workload object lives:
+        # CPython recycles id() after collection, so pin a weak reference
+        # whose death callback drops the entry first.  Objects that cannot
+        # be weakly referenced are served uncached.
+        try:
+            _ANON_REFS[key] = weakref.ref(workload, _make_anon_reaper(key))
+        except TypeError:
+            return packed
+    global _CACHE_BYTES
     _PACK_CACHE[key] = packed
+    _CACHE_BYTES += packed.nbytes()
     while len(_PACK_CACHE) > _CACHE_CAPACITY:
         _evict_oldest()
     _update_bytes_gauge()
@@ -320,5 +464,8 @@ def clear_pack_cache() -> None:
     (:func:`repro.obs.metrics.reset_metrics`) so the parent's warm-up packs
     are not double-counted in merged grid metrics.
     """
+    global _CACHE_BYTES
     _PACK_CACHE.clear()
+    _ANON_REFS.clear()
+    _CACHE_BYTES = 0
     _update_bytes_gauge()

@@ -27,6 +27,7 @@ from repro.workloads.suites import (
     SPEC_BENCHMARKS,
     gkb5,
     graph,
+    kernel,
     non_intensive,
     parsec,
     qmm,
@@ -104,6 +105,17 @@ def non_intensive_workloads() -> tuple[SyntheticWorkload, ...]:
 
 
 @lru_cache(maxsize=None)
+def kernel_workloads() -> tuple[SyntheticWorkload, ...]:
+    """Hit-dominated kernel workloads (drive-kernel benchmarking set).
+
+    Not part of the paper's seen/unseen split — these exist to exercise the
+    vectorized drive tier's span-skipping on workloads where nearly every
+    record is provably uneventful (see ``scripts/bench_hotloop.py``).
+    """
+    return tuple(kernel(i) for i in range(8))
+
+
+@lru_cache(maxsize=None)
 def motivation_workloads() -> tuple[SyntheticWorkload, ...]:
     """The memory-intensive subset used in the Section II-C motivation study.
 
@@ -125,7 +137,8 @@ def motivation_workloads() -> tuple[SyntheticWorkload, ...]:
 @lru_cache(maxsize=None)
 def _name_index() -> dict[str, SyntheticWorkload]:
     index: dict[str, SyntheticWorkload] = {}
-    for workload in seen_workloads() + unseen_workloads() + non_intensive_workloads():
+    for workload in (seen_workloads() + unseen_workloads()
+                     + non_intensive_workloads() + kernel_workloads()):
         index[workload.name] = workload
     return index
 

@@ -365,7 +365,10 @@ def detach_all() -> None:
     """
     from repro.workloads.packed import install_shared_provider
 
-    for seg, base, pcs, vaddrs, flags, gaps, _packed in _ATTACHED.values():
+    for seg, base, pcs, vaddrs, flags, gaps, packed in _ATTACHED.values():
+        # the pack's cached numpy column views (PackedTrace.columns()) export
+        # the buffer; drop them first or every release below fails
+        packed._views = None
         for view in (pcs, vaddrs, flags, gaps, base):
             try:
                 view.release()

@@ -69,6 +69,32 @@ class TestWeightedIpc:
         with pytest.raises(ValueError):
             result.weighted_ipc([1.0])
 
+    def test_weighted_ipc_rejects_zero_isolation(self):
+        results = simulate_mix(
+            [workload("a", 1, footprint_pages=128), workload("b", 2, footprint_pages=128)],
+            quick_config(),
+        )
+        with pytest.raises(ValueError, match="isolation IPC for core 1"):
+            results.weighted_ipc([1.0, 0.0])
+
+
+class TestPerCoreBudgets:
+    def test_qmm_core_journals_halved_budget(self):
+        # QMM workloads run half-length traces; the per-core config handed
+        # to collect_result must carry the halved budget so the journaled
+        # requested_instructions matches what the core measured
+        qmm = SyntheticWorkload(
+            "qmmish", "QMM_INT", 5,
+            [(lambda: Stream(0, footprint_pages=128), 1 << 30)],
+            mean_gap=2.0,
+        )
+        plain = workload("plain", 6, footprint_pages=128)
+        result = simulate_mix([qmm, plain], quick_config())
+        per_core = {r.workload: r for r in result.results}
+        assert per_core["qmmish"].requested_instructions == 2_000
+        assert per_core["plain"].requested_instructions == 4_000
+        assert per_core["qmmish"].instructions >= 2_000
+
 
 class TestIsolation:
     def test_isolation_uses_scaled_llc(self):

@@ -1,5 +1,7 @@
 """Packed trace buffers: generator equality, window sizing, caching, replay."""
 
+import gc
+
 import pytest
 
 from repro.core.policies import DiscardPgc
@@ -15,6 +17,7 @@ from repro.workloads.packed import (
     pack_cache_stats,
     set_pack_cache_capacity,
 )
+from repro.workloads import packed as packed_module
 from repro.workloads.trace_io import FileWorkload, snapshot_workload
 
 
@@ -78,6 +81,101 @@ class TestPackedTrace:
         w = FileWorkload(path)
         packed = PackedTrace.from_workload(w, 500, 2_000)
         assert list(packed.records()) == list(w.generate())[: len(packed)]
+
+
+class SlottedWorkload:
+    """No seed/path and no ``__weakref__`` slot: cannot be pinned to the
+    cache, so :func:`get_packed` must serve it uncached."""
+
+    __slots__ = ("records", "gap")
+    name = "slotted"
+    suite = "TEST"
+
+    def __init__(self, records=60, gap=999):
+        self.records = records
+        self.gap = gap
+
+    def generate(self):
+        for i in range(self.records):
+            yield 0x400, 0x1000 + (i % 8) * 64, 1, self.gap
+
+
+class TestAnonymousPackIdentity:
+    def test_entry_dies_with_workload(self):
+        clear_pack_cache()
+        w = HighGapWorkload()
+        get_packed(w, 1_500, 3_000)
+        assert pack_cache_stats()["size"] == 1
+        del w
+        gc.collect()
+        assert pack_cache_stats()["size"] == 0
+        assert packed_module._ANON_REFS == {}
+        clear_pack_cache()
+
+    def test_recycled_id_cannot_serve_stale_pack(self):
+        # id-keyed entries must die with their workload: when CPython hands
+        # the freed id to a *different* workload, get_packed must re-pack
+        # instead of serving the dead object's (larger) pack
+        clear_pack_cache()
+        w = HighGapWorkload(records=60)
+        stale = get_packed(w, 1_500, 3_000)
+        addr = id(w)
+        del w
+        gc.collect()
+        for _ in range(256):
+            candidate = HighGapWorkload(records=3)
+            if id(candidate) == addr:
+                break
+            candidate = None
+        else:
+            pytest.skip("allocator did not recycle the object id")
+        repacked = get_packed(candidate, 1_500, 3_000)
+        assert repacked is not stale
+        assert len(repacked) == 3
+        clear_pack_cache()
+
+    def test_unweakrefable_workload_served_uncached(self):
+        clear_pack_cache()
+        w = SlottedWorkload()
+        first = get_packed(w, 1_500, 3_000)
+        assert pack_cache_stats()["size"] == 0
+        assert get_packed(w, 1_500, 3_000) is not first
+        assert len(first) > 0
+        clear_pack_cache()
+
+
+class TestBytesGauge:
+    def _gauge_value(self):
+        from repro.obs.metrics import get_metrics
+
+        return get_metrics().gauge("pack_cache.bytes").value()
+
+    def _resident_bytes(self):
+        return sum(p.nbytes() for p in packed_module._PACK_CACHE.values())
+
+    def test_gauge_tracks_insert_evict_resize_clear(self, bounded_cache):
+        w = by_name("astar")
+        get_packed(w, 1_000, 2_000)
+        assert self._gauge_value() == self._resident_bytes() > 0
+        get_packed(w, 1_000, 3_000)
+        assert self._gauge_value() == self._resident_bytes()
+        get_packed(w, 1_000, 4_000)  # capacity 2: evicts the oldest
+        assert self._gauge_value() == self._resident_bytes()
+        set_pack_cache_capacity(1)  # shrink evicts immediately
+        assert self._gauge_value() == self._resident_bytes()
+        clear_pack_cache()
+        assert self._gauge_value() == 0
+        assert packed_module._CACHE_BYTES == 0
+
+    def test_anonymous_death_updates_gauge(self):
+        clear_pack_cache()
+        w = HighGapWorkload()
+        get_packed(w, 1_500, 3_000)
+        assert self._gauge_value() == self._resident_bytes() > 0
+        del w
+        gc.collect()
+        assert self._gauge_value() == 0
+        clear_pack_cache()
 
 
 class TestPackCache:
