@@ -101,6 +101,61 @@ class TestTelemetryOffOverhead:
                 "telemetry-off overhead on the fast path?")
 
 
+class TestMixThroughput:
+    """The mix-affine grid (PR 9) must stay exact and stay fast.
+
+    ``BENCH_0007.json`` records the speedup of whole mixes dispatched to
+    workers on packed cores over serial generator stepping (the historical
+    ``simulate_mix`` path) at jobs=2.  Per-core equality is the hard
+    contract; the throughput floor is the same generous half-of-recorded
+    used above — enough to catch the packed mix loop or the mix scheduler
+    regressing to serial-generator speed without gating merges on CI noise.
+    """
+
+    MARGIN = 0.5
+
+    def _baseline(self):
+        import json
+        from pathlib import Path
+
+        doc = json.loads(
+            (Path(__file__).resolve().parent.parent / "BENCH_0007.json").read_text())
+        return doc["mix"]
+
+    def test_mix_grid_identical_and_fast(self):
+        from repro.experiments.parallel import (
+            grid_session,
+            mix_cell_for,
+            run_mix_cells,
+        )
+        from repro.workloads import make_mixes
+
+        recorded = self._baseline()
+        spec = RunSpec(prefetcher=recorded["prefetcher"],
+                       warmup_instructions=2_000, sim_instructions=6_000)
+        mixes = make_mixes(2, 4, seed=42)
+        cells = [mix_cell_for(mix, spec, policy=policy, mix_id=i)
+                 for i, mix in enumerate(mixes)
+                 for policy in ("discard", "dripper")]
+
+        def packed_grid():
+            with grid_session(2, True):
+                return run_mix_cells(cells, jobs=2)
+
+        t_serial, serial = _best_of(2, lambda: run_mix_cells(cells, jobs=1))
+        t_packed, packed = _best_of(2, packed_grid)
+        for want, got in zip(serial, packed):
+            for a, b in zip(want.results, got.results):
+                assert result_diff(a, b) == {}
+        floor = max(1.0, recorded["speedup"] * self.MARGIN)
+        measured = t_serial / t_packed
+        assert measured > floor, (
+            f"mix grid speedup {measured:.2f}x fell below {floor:.2f}x "
+            f"(BENCH_0007 recorded {recorded['speedup']:.2f}x at "
+            f"jobs={recorded['jobs']}) — packed mix loop or mix-affine "
+            "scheduling regressed?")
+
+
 class TestVectorizedKernelTier:
     """The vectorized drive kernel (PR 7) must stay exact and stay fast.
 

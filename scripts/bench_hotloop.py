@@ -36,6 +36,7 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import os
 import platform
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
@@ -47,10 +48,12 @@ from repro.experiments.parallel import (
     _run_chunk_worker,
     cell_for,
     grid_session,
+    mix_cell_for,
     run_cells,
+    run_mix_cells,
 )
 from repro.validate import result_diff
-from repro.workloads import by_name, clear_pack_cache, get_packed
+from repro.workloads import by_name, clear_pack_cache, get_packed, make_mixes
 from repro.cpu.simulator import simulate
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -252,6 +255,62 @@ def bench_grid(workloads, policies, prefetcher: str, warmup: int, sim: int,
     }
 
 
+def bench_mix(n_mixes: int, cores: int, policies, prefetcher: str,
+              warmup: int, sim: int, jobs: int, repeats: int,
+              seed: int = 42) -> dict:
+    """Time the Fig. 19 mix grid both ways; assert per-core equality.
+
+    Serial generator stepping (``run_mix_cells(jobs=1)``, the historical
+    ``simulate_mix`` path) races the mix-affine scheduler dispatching whole
+    mixes to ``jobs`` workers on packed cores.  One shared-memory grid
+    session stays open across the repeats — the steady state of a 300-mix
+    study, where the worker pool and the published packs are paid once and
+    amortised over hundreds of mixes — and the untimed warm-up pair inside
+    :func:`_best_of_interleaved` is what pays them, so neither leg times
+    session setup.  Every core of every mix is diffed between the legs
+    before any timing is reported.
+    """
+    spec = RunSpec(prefetcher=prefetcher, warmup_instructions=warmup,
+                   sim_instructions=sim)
+    mixes = make_mixes(n_mixes, cores, seed)
+    cells = [mix_cell_for(mix, spec, policy=policy, mix_id=i)
+             for i, mix in enumerate(mixes) for policy in policies]
+
+    with grid_session(jobs, True):
+        t_serial, serial_results, t_packed, packed_results, speedup = _best_of_interleaved(
+            repeats,
+            lambda: run_mix_cells(cells, jobs=1),
+            lambda: run_mix_cells(cells, jobs=jobs),
+        )
+    for cell, want, got in zip(cells, serial_results, packed_results):
+        for core, (a, b) in enumerate(zip(want.results, got.results)):
+            diffs = result_diff(a, b)
+            if diffs:
+                parts = "; ".join(f"{k}: {x!r} != {y!r}" for k, (x, y) in diffs.items())
+                raise SystemExit(
+                    f"FAIL: packed mix grid diverged from serial generator "
+                    f"stepping for mix {cell.mix_id}/{cell.policy} core {core} "
+                    f"({a.workload}): {parts}"
+                )
+    instructions = sum(r.instructions for mix_result in serial_results
+                       for r in mix_result.results)
+    return {
+        "mixes": n_mixes,
+        "cores": cores,
+        "policies": list(policies),
+        "prefetcher": prefetcher,
+        "cells": len(cells),
+        "jobs": jobs,
+        "instructions": instructions,
+        "serial_generator_seconds": t_serial,
+        "packed_affine_seconds": t_packed,
+        "serial_mixes_per_sec": len(cells) / t_serial,
+        "packed_mixes_per_sec": len(cells) / t_packed,
+        #: median of per-pair wall-time ratios (see _best_of_interleaved)
+        "speedup": speedup,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workload", default="astar")
@@ -280,7 +339,53 @@ def main() -> int:
                              "— do not dilute the drive-loop ratio)")
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_0006.json"),
                         help="JSON summary path ('' to skip writing)")
+    parser.add_argument("--mix", action="store_true",
+                        help="benchmark the multi-core mix grid instead: "
+                             "serial generator stepping vs whole mixes "
+                             "dispatched to workers on packed cores")
+    parser.add_argument("--mix-mixes", type=int, default=2,
+                        help="mixes in the mix benchmark grid")
+    parser.add_argument("--mix-cores", type=int, default=4,
+                        help="cores per mix in the mix benchmark")
+    parser.add_argument("--mix-jobs", type=int, default=2,
+                        help="worker processes for the packed mix leg")
+    parser.add_argument("--mix-warmup", type=int, default=2_000)
+    parser.add_argument("--mix-sim", type=int, default=6_000)
+    parser.add_argument("--mix-repeats", type=int, default=3,
+                        help="interleaved mix-grid repeats")
+    parser.add_argument("--mix-out", default=str(REPO_ROOT / "BENCH_0007.json"),
+                        help="mix benchmark JSON path ('' to skip writing)")
     args = parser.parse_args()
+
+    if args.mix:
+        clear_pack_cache()
+        mix = bench_mix(args.mix_mixes, args.mix_cores, args.policies,
+                        args.prefetchers[0], args.mix_warmup, args.mix_sim,
+                        args.mix_jobs, args.mix_repeats)
+        print(format_table(
+            ["cells", "jobs", "serial generator", "packed affine", "speedup"],
+            [(str(mix["cells"]), str(mix["jobs"]),
+              f"{mix['serial_generator_seconds']:.2f}s",
+              f"{mix['packed_affine_seconds']:.2f}s",
+              f"{mix['speedup']:.2f}x")],
+            f"mix grid: {mix['mixes']} mixes x {mix['cores']} cores x "
+            f"{len(mix['policies'])} policies, {mix['prefetcher']} "
+            f"(median of {args.mix_repeats})",
+        ))
+        if args.mix_out:
+            payload = {
+                "benchmark": "mix-hotloop",
+                "python": platform.python_version(),
+                #: CPUs the parallel leg actually had — on a 1-CPU runner
+                #: the jobs>1 dispatch cannot overlap and the measured
+                #: speedup is the fused-stepper serial gain alone
+                "cpus": len(os.sched_getaffinity(0)),
+                "repeats": args.mix_repeats,
+                "mix": mix,
+            }
+            Path(args.mix_out).write_text(json.dumps(payload, indent=2) + "\n")
+            print(f"\nwrote {args.mix_out}")
+        return 0
 
     workload = by_name(args.workload)
     clear_pack_cache()

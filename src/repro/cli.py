@@ -11,8 +11,16 @@ Subcommands::
     python -m repro storage
     python -m repro snapshot  --workload astar --out astar.rptr --instructions 100000
     python -m repro convert   --champsim trace.bin --out trace.rptr
+    python -m repro mix       --mixes 300 --jobs 8 --cache-dir .cache --progress
     python -m repro validate  --workloads astar hmmer --jobs 2
     python -m repro status    --journal runs.jsonl --metrics metrics.prom
+
+``mix`` runs the paper's Figure 19 study: N eight-core mixes per policy,
+each mix stepped in retire-clock order against a shared LLC+DRAM, reported
+as the weighted-speedup distribution over the first (baseline) policy.
+Isolation runs are ordinary grid cells — ``--cache-dir`` dedupes them
+across mixes and invocations — and ``--jobs`` fans whole mixes out to
+workers on packed cores (bit-identical to the serial generator loop).
 
 ``run``, ``compare``, ``sweep``, and ``inspect`` accept ``--validate``, which
 attaches a runtime invariant checker to every simulation (conservation laws
@@ -451,6 +459,59 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_mix(args: argparse.Namespace) -> int:
+    """`repro mix`: the Figure 19 multi-core weighted-speedup study."""
+    from repro.experiments.figures import fig19_multicore
+
+    _setup_telemetry(args)
+    # mixes are multi-core: timelines/probes are single-core instruments,
+    # so the mix command only offers the journal + process-wide exports
+    obs = Observability(journal=RunJournal(args.journal)) if args.journal else None
+    cache = _make_cache(args)
+    data = fig19_multicore(
+        n_mixes=args.mixes,
+        cores=args.cores,
+        warmup_instructions=args.warmup,
+        sim_instructions=args.sim,
+        seed=args.seed,
+        policies=tuple(args.policies),
+        jobs=args.jobs,
+        cache=cache,
+        obs=obs,
+        shm=args.shm,
+        packed=args.packed,
+        kernel=args.kernel,
+        validate=args.validate,
+        progress=_progress_sink(args),
+    )
+    if args.json:
+        print(json.dumps({
+            "mixes": args.mixes,
+            "cores": args.cores,
+            "baseline": args.policies[0],
+            "policies": data,
+        }, indent=2))
+    else:
+        rows = []
+        for policy, d in data.items():
+            pct = d["per_mix_pct"]
+            rows.append((
+                policy,
+                format_pct(d["geomean_pct"]),
+                format_pct(pct[0]),
+                format_pct(pct[len(pct) // 2]),
+                format_pct(pct[-1]),
+            ))
+        print(format_table(
+            ["policy", "geomean", "min", "median", "max"], rows,
+            f"weighted speedup over {args.policies[0]}: {args.mixes} mix(es) "
+            f"x {args.cores} cores",
+        ))
+    _emit_cache_stats(cache)
+    _emit_obs(args, obs)
+    return 0
+
+
 def _summarize_journal(records: list[dict]) -> dict:
     """Aggregate a journal's records into the `repro status` summary."""
     workloads = sorted({r["workload"]["name"] for r in records})
@@ -465,6 +526,11 @@ def _summarize_journal(records: list[dict]) -> dict:
             "runs": len(runs),
             "mean_ipc": sum(ipcs) / len(ipcs) if ipcs else None,
         }
+    # multicore cores journal one record each, tagged with mix id + core
+    # index in the record context (see simulate_mix)
+    mix_records = [
+        r for r in records if (r.get("context") or {}).get("mix") is not None
+    ]
     return {
         "runs": len(records),
         "workloads": workloads,
@@ -473,6 +539,8 @@ def _summarize_journal(records: list[dict]) -> dict:
         "instructions": instructions,
         "instructions_per_second": instructions / wall if wall > 0 else None,
         "per_policy": per_policy,
+        "mix_core_runs": len(mix_records),
+        "mixes": len({r["context"]["mix"] for r in mix_records}),
         "hosts": sorted({r["host"]["hostname"] for r in records if "host" in r}),
     }
 
@@ -517,6 +585,10 @@ def cmd_status(args: argparse.Namespace) -> int:
         ("wall time", f"{summary['wall_seconds']:.2f}s"),
         ("instructions", f"{summary['instructions']:,}"),
     ]
+    if summary["mix_core_runs"]:
+        rows.append(("mix work",
+                     f"{summary['mix_core_runs']} core-run(s) across "
+                     f"{summary['mixes']} mix(es)"))
     ips = summary["instructions_per_second"]
     if ips is not None:
         rows.append(("throughput", f"{ips / 1000:.0f}k instr/s"))
@@ -668,6 +740,53 @@ def build_parser() -> argparse.ArgumentParser:
     ins_p.add_argument("--policy", default="dripper", choices=_POLICIES)
     add_obs_args(ins_p)
     ins_p.set_defaults(func=cmd_inspect)
+
+    mix_p = sub.add_parser(
+        "mix",
+        help="multi-core mix study (Figure 19 weighted speedups)",
+        description="Run N eight-core mixes under each policy against a "
+                    "shared LLC+DRAM and report the weighted-speedup "
+                    "distribution over the first (baseline) policy.  "
+                    "Isolation IPCs are content-addressed grid cells, so "
+                    "--cache-dir dedupes them across mixes and invocations; "
+                    "--jobs dispatches whole mixes to workers on packed "
+                    "cores (bit-identical to the serial generator loop).",
+    )
+    mix_p.add_argument("--mixes", type=_positive_int, default=4, metavar="N",
+                       help="number of mixes (the paper runs 300)")
+    mix_p.add_argument("--cores", type=_positive_int, default=8,
+                       help="cores per mix (default: 8, as in the paper)")
+    mix_p.add_argument("--policies", nargs="+",
+                       default=["discard", "permit", "dripper"],
+                       choices=_POLICIES,
+                       help="first policy is the normalisation baseline")
+    mix_p.add_argument("--warmup", type=int, default=8_000)
+    mix_p.add_argument("--sim", type=int, default=24_000)
+    mix_p.add_argument("--seed", type=int, default=42,
+                       help="mix-composition seed")
+    mix_p.add_argument("--validate", action="store_true",
+                       help="attach a runtime invariant checker to every core")
+    mix_p.add_argument("--packed", action="store_true",
+                       help="drive serial mixes through the packed mix loop "
+                            "(workers always use it; bit-identical results)")
+    mix_p.add_argument("--kernel", choices=("fused", "vectorized"),
+                       default="fused",
+                       help="packed kernel tier for every core (vectorized "
+                            "implies --packed)")
+    add_parallel_args(mix_p)
+    g = mix_p.add_argument_group("observability")
+    g.add_argument("--journal", metavar="PATH", default=None,
+                   help="append one JSONL run-journal record per core, "
+                        "tagged with mix id + core index")
+    g.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON on stdout")
+    g.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="write the end-of-command metrics snapshot "
+                        "(Prometheus text; JSON when PATH ends in .json)")
+    g.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="record spans and write a merged Chrome trace-event "
+                        "JSON (mix-cell/mix-drive spans included)")
+    mix_p.set_defaults(func=cmd_mix)
 
     wl_p = sub.add_parser("workloads", help="list registered workloads")
     wl_p.add_argument("--set", default="seen", choices=("seen", "unseen", "non-intensive"))

@@ -37,9 +37,13 @@ def average(values: Iterable[float]) -> float:
 
 
 def weighted_speedup(multicore_ipcs: Sequence[float], isolation_ipcs: Sequence[float]) -> float:
-    """Multi-core weighted speedup (Section IV-A2): sum of IPC_mc / IPC_iso."""
-    if len(multicore_ipcs) != len(isolation_ipcs):
-        raise ValueError("core count mismatch")
-    if any(iso <= 0 for iso in isolation_ipcs):
-        raise ValueError("isolation IPCs must be positive")
-    return sum(mc / iso for mc, iso in zip(multicore_ipcs, isolation_ipcs))
+    """Multi-core weighted speedup (Section IV-A2): sum of IPC_mc / IPC_iso.
+
+    Delegates to the canonical implementation in
+    :func:`repro.cpu.multicore.weighted_speedup` (this module and
+    ``MixResult.weighted_ipc`` used to carry duplicate copies that disagreed
+    on negative isolation IPCs); kept exported here for API stability.
+    """
+    from repro.cpu.multicore import weighted_speedup as _weighted_speedup
+
+    return _weighted_speedup(multicore_ipcs, isolation_ipcs)

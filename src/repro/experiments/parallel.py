@@ -78,6 +78,7 @@ from repro.workloads.registry import by_name
 from repro.workloads.shm import PackHandle, SharedPackStore, install_attachments
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cpu.multicore import MixResult
     from repro.obs import Observability
 
 #: callback fired as each cell's result lands: (cell index, result, cached?)
@@ -562,6 +563,238 @@ def run_cells(
     missing = [i for i, r in enumerate(results) if r is None]
     if missing:  # pragma: no cover - defensive; every path above fills results
         raise RuntimeError(f"cells {missing} produced no result")
+    if prog is not None:
+        prog.end()
+    return results  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# multi-core mixes: one mix = one affine chunk
+
+@dataclass(frozen=True)
+class MixCell:
+    """One picklable multi-core grid cell: a workload mix + spec + policy.
+
+    ``workloads`` are registry names (mixes come from
+    :func:`~repro.workloads.make_mixes`, which draws from the registry), so
+    a mix cell crosses process boundaries by name alone.  ``policy``
+    overrides only the policy *factory*, exactly like :class:`Cell`.
+    """
+
+    workloads: tuple[str, ...]
+    spec: RunSpec
+    policy: Optional[str] = None
+    mix_id: Optional[int] = None
+
+    def resolve_workloads(self) -> list[Any]:
+        """The workload objects this mix runs, in core order."""
+        return [by_name(name) for name in self.workloads]
+
+    def label(self) -> str:
+        """Display label for progress lines (``mix-<id>``)."""
+        return f"mix-{self.mix_id}" if self.mix_id is not None else "mix"
+
+
+def mix_cell_for(mix: Sequence[Any], spec: RunSpec, **overrides: Any) -> MixCell:
+    """Build a MixCell from workload objects (carried by registry name)."""
+    return MixCell(
+        workloads=tuple(getattr(w, "name", str(w)) for w in mix),
+        spec=spec,
+        **overrides,
+    )
+
+
+def build_mix_config(cell: MixCell) -> SimConfig:
+    """Materialise the mix's shared SimConfig (nominal windows; per-core
+    QMM halving is ``simulate_mix``'s job)."""
+    config = cell.spec.base_config()
+    if cell.policy is not None:
+        config.policy_factory = policy_factory(cell.policy, cell.spec.prefetcher)
+    return config
+
+
+def execute_mix_cell(
+    cell: MixCell, *, obs: Optional["Observability"] = None,
+    force_packed: bool = False,
+) -> "MixResult":
+    """Run one mix cell in the current process (the `jobs=1` path).
+
+    ``force_packed`` routes the mix through the packed drive loop
+    (bit-identical by contract; see
+    :func:`repro.validate.check_mix_packed_matches_generator`) — set for
+    mixes dispatched to workers, so each core replays its shm-attached or
+    worker-local pack instead of regenerating records per policy.
+    """
+    from repro.cpu.multicore import simulate_mix
+
+    workloads = cell.resolve_workloads()
+    config = build_mix_config(cell)
+    if force_packed and not config.packed:
+        config.packed = True
+    policy = cell.policy or cell.spec.policy
+    start = perf_counter()
+    with trace_span("mix-cell", category="grid",
+                    mix=cell.mix_id, policy=policy, cores=len(workloads)):
+        if obs is not None:
+            with obs.scoped(spec=asdict(cell.spec)):
+                result = simulate_mix(workloads, config, obs=obs,
+                                      mix_id=cell.mix_id)
+        else:
+            result = simulate_mix(workloads, config, mix_id=cell.mix_id)
+    wall = perf_counter() - start
+    cells, instructions, wall_seconds, cell_seconds = _grid_metrics()
+    pid = str(os.getpid())
+    cells.inc(pid=pid)
+    instructions.inc(sum(r.instructions for r in result.results), pid=pid)
+    wall_seconds.inc(wall, pid=pid)
+    cell_seconds.observe(wall)
+    return result
+
+
+def _run_mix_chunk_worker(
+    items: Sequence[tuple[int, MixCell]],
+    handles: Sequence[PackHandle],
+    use_journal: bool,
+    force_packed: bool,
+    trace_dir: Optional[str] = None,
+) -> tuple[list[tuple[int, "MixResult"]], MetricsSnapshot]:
+    """Run one mix chunk in this worker process (mirrors _run_chunk_worker)."""
+    if handles:
+        install_attachments(handles)
+    if trace_dir is not None and current_tracer() is None:
+        install_tracer(Tracer(role="worker"))
+    registry = get_metrics()
+    mark = registry.snapshot()
+    obs = _chunk_obs() if use_journal else None
+    try:
+        out = [(i, execute_mix_cell(cell, obs=obs, force_packed=force_packed))
+               for i, cell in items]
+    finally:
+        if obs is not None:
+            obs.close()
+    delta = registry.snapshot().delta(mark)
+    if trace_dir is not None:
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.flush_shard(trace_dir)
+    return out, delta
+
+
+#: callback fired as each mix's result lands: (cell index, result, cached?)
+MixResultHook = Callable[[int, "MixResult", bool], None]
+
+
+def run_mix_cells(
+    cells: Sequence[MixCell],
+    *,
+    jobs: int = 1,
+    obs: Optional["Observability"] = None,
+    on_result: Optional[MixResultHook] = None,
+    shm: Optional[bool] = None,
+    progress: Optional[ProgressSink] = None,
+) -> list["MixResult"]:
+    """Execute a batch of mix cells; results come back in input order.
+
+    Scheduling is mix-affine: **one mix = one chunk**, so a worker steps all
+    eight cores of a mix against their shared LLC+DRAM without interleaving
+    other work.  The parent publishes every mix workload's pack (at its
+    QMM-halved window where applicable) through the session's shared store
+    exactly once — mixes overlap heavily in workloads, so later mixes attach
+    the columns the first one paid for.  Worker-dispatched mixes run the
+    packed drive loop (bit-identical to the serial generator loop); there is
+    no result cache at the mix level — the cacheable unit is the *isolation*
+    run, which is an ordinary :class:`Cell`.
+    """
+    cells = list(cells)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    results: list[Optional["MixResult"]] = [None] * len(cells)
+    prog = GridProgress(progress) if progress is not None else None
+    if prog is not None:
+        prog.start(len(cells), 0)
+
+    def _policy(i: int) -> str:
+        return cells[i].policy or cells[i].spec.policy
+
+    def finish(i: int, result: "MixResult") -> None:
+        results[i] = result
+        if on_result is not None:
+            on_result(i, result, False)
+        if prog is not None:
+            prog.cell_finish(
+                i, cells[i].label(), _policy(i), cached=False,
+                instructions=sum(r.instructions for r in result.results))
+
+    workers = min(jobs, len(cells))
+    if workers <= 1:
+        for i in range(len(cells)):
+            if prog is not None:
+                prog.cell_start(i, cells[i].label(), _policy(i))
+            finish(i, execute_mix_cell(cells[i], obs=obs))
+    else:
+        if obs is not None and (obs.timeline is not None or obs.probe is not None):
+            raise ValueError(
+                "timeline/probe instruments are in-process only; run with jobs=1 "
+                "or pass an Observability bundle with just a journal"
+            )
+        journal = obs.journal if obs is not None else None
+        session = _SESSION
+        ephemeral = session is None
+        if ephemeral:
+            session = _GridSession(workers, shm if shm is not None else True)
+        try:
+            chunks: list[tuple[int, tuple[PackHandle, ...]]] = []
+            for i, cell in enumerate(cells):
+                handles: list[PackHandle] = []
+                if session.store is not None:
+                    config = build_mix_config(cell)
+                    for workload in cell.resolve_workloads():
+                        warmup, sim = (config.warmup_instructions,
+                                       config.sim_instructions)
+                        if workload.suite.startswith("QMM"):
+                            warmup, sim = warmup // 2, sim // 2
+                        handle = session.store.publish(workload, warmup, sim)
+                        if handle is not None:
+                            handles.append(handle)
+                chunks.append((i, tuple(handles)))
+            pool = session.pool()
+            tracing = current_tracer() is not None
+            futures = {
+                pool.submit(
+                    _run_mix_chunk_worker,
+                    [(i, cells[i])],
+                    handles,
+                    journal is not None,
+                    True,  # workers always run the packed mix loop
+                    session.trace_dir if tracing else None,
+                ): [i]
+                for i, handles in chunks
+            }
+            registry = get_metrics()
+            for future in as_completed(futures):
+                try:
+                    landed, delta = future.result()
+                except BaseException as exc:
+                    if prog is not None:
+                        prog.cell_failed(futures[future], exc)
+                    raise
+                registry.merge(delta)
+                for i, result in landed:
+                    finish(i, result)
+            if journal is not None:
+                from repro.obs.journal import merge_shards
+
+                obs.runs += merge_shards(journal, session.shard_dir, consume=True)
+        finally:
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.absorb_shards(session.trace_dir)
+            if ephemeral:
+                session.close()
+
+    missing = [i for i, r in enumerate(results) if r is None]
+    if missing:  # pragma: no cover - defensive; every path above fills results
+        raise RuntimeError(f"mix cells {missing} produced no result")
     if prog is not None:
         prog.end()
     return results  # type: ignore[return-value]

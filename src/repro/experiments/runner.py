@@ -71,8 +71,14 @@ class RunSpec:
     #: the cell fingerprint
     kernel: str = "fused"
 
-    def config_for(self, workload: SyntheticWorkload) -> SimConfig:
-        """Materialise a SimConfig (QMM workloads run half-length traces)."""
+    def base_config(self) -> SimConfig:
+        """Materialise the workload-independent SimConfig for this spec.
+
+        Carries the spec's *nominal* trace windows; per-workload adjustments
+        (the QMM half-length windows) are :meth:`config_for`'s job.  Mix
+        runs hand this straight to :func:`repro.cpu.multicore.simulate_mix`,
+        which applies the QMM halving per core itself.
+        """
         factory = policy_factory(self.policy, self.prefetcher)
         if self.filter_at_native_boundary:
             base_factory = factory
@@ -82,21 +88,26 @@ class RunSpec:
                 policy.filter_at_native_boundary = True
                 return policy
 
-        warmup, sim = self.warmup_instructions, self.sim_instructions
-        if workload.suite.startswith("QMM"):
-            warmup, sim = warmup // 2, sim // 2
         return SimConfig(
             prefetcher=self.prefetcher,
             policy_factory=factory,
             l2_prefetcher=self.l2_prefetcher,
-            warmup_instructions=warmup,
-            sim_instructions=sim,
+            warmup_instructions=self.warmup_instructions,
+            sim_instructions=self.sim_instructions,
             large_page_fraction=self.large_page_fraction,
             prefetcher_extra_storage=ISO_STORAGE_BYTES if self.policy.lower().startswith("iso") else 0,
             validate=self.validate,
             packed=self.packed,
             kernel=self.kernel,
         )
+
+    def config_for(self, workload: SyntheticWorkload) -> SimConfig:
+        """Materialise a SimConfig (QMM workloads run half-length traces)."""
+        config = self.base_config()
+        if workload.suite.startswith("QMM"):
+            config.warmup_instructions //= 2
+            config.sim_instructions //= 2
+        return config
 
 
 def run_one(

@@ -9,7 +9,8 @@ Two complementary layers guard the simulator's headline counters:
 * :func:`run_validation_suite` (:mod:`repro.validate.differential`) runs
   metamorphic checks over the production code paths — determinism,
   parallel == serial, shm grid == serial, discard == source suppression,
-  epoch invariance, packed == generator, a clean invariant pass per
+  epoch invariance, packed == generator (single-core and per mix core), a
+  clean invariant pass per
   (workload × policy), and
   mutation detection via :func:`reintroduce_stale_mshr_bug` — exposed as
   the ``repro validate`` subcommand.
@@ -17,6 +18,7 @@ Two complementary layers guard the simulator's headline counters:
 
 from repro.validate.differential import (
     CheckOutcome,
+    check_mix_packed_matches_generator,
     check_packed_matches_generator,
     check_shm_grid_matches_serial,
     result_diff,
@@ -27,6 +29,7 @@ from repro.validate.mutation import reintroduce_stale_mshr_bug
 
 __all__ = [
     "CheckOutcome",
+    "check_mix_packed_matches_generator",
     "check_packed_matches_generator",
     "check_shm_grid_matches_serial",
     "InvariantChecker",

@@ -22,6 +22,10 @@ field by field:
 * **packed-vs-generator** — driving through the packed-trace fast path
   (``SimConfig(packed=True)``) is bit-identical to the generator drive
   loop for every fuzz prefetcher under discard and DRIPPER;
+* **mix-packed-vs-generator** — the packed multi-core mix loop
+  (:func:`repro.cpu.multicore.simulate_mix` with ``packed=True``) equals
+  the generator mix loop per core, on a mix whose QMM core (halved
+  budgets) finishes early and replays through the overflow seam;
 * **vectorized-vs-fused** — the span-skipping vectorized kernel tier
   (``SimConfig(kernel="vectorized")``) equals the fused tier across its
   fallback seams: epoch rollovers mid-span, event-dense windows, runs with
@@ -345,6 +349,48 @@ def check_vectorized_matches_fused(workload_name: str, *, warmup: int,
     return outcomes
 
 
+def check_mix_packed_matches_generator(*, warmup: int, sim: int,
+                                       cores: int = 4) -> list[CheckOutcome]:
+    """The packed mix drive loop equals the generator mix loop per core.
+
+    The mix deliberately includes a QMM workload: its per-core budgets are
+    halved by ``simulate_mix``, so that core finishes early and *replays*
+    while the full-budget cores catch up — driving the packed loop past its
+    packed prefix and into the overflow-continuation path (a fresh
+    generator advanced past the pack).  Checked under a static policy
+    (discard) and the epoch-adaptive DRIPPER, which exercise disjoint sets
+    of per-core state.
+    """
+    from repro.cpu.multicore import simulate_mix
+    from repro.workloads.registry import seen_workloads
+
+    qmm = next(w for w in seen_workloads() if w.suite.startswith("QMM"))
+    names = ["astar", "hmmer", "mcf", "lbm"]
+    mix = [by_name(name) for name in names[:cores - 1]] + [qmm]
+    tag = "+".join(w.name for w in mix)
+    outcomes = []
+    for policy in ("discard", "dripper"):
+        config = _spec("berti", policy, warmup, sim).base_config()
+        generator = simulate_mix(mix, config)
+        packed = simulate_mix(mix, replace(config, packed=True))
+        name = f"mix-packed-vs-generator[{tag}/{policy}]"
+        failed = False
+        for core, (a, b) in enumerate(zip(generator.results, packed.results)):
+            diffs = result_diff(a, b)
+            if diffs:
+                outcomes.append(CheckOutcome(
+                    name, False,
+                    f"core {core} ({a.workload}): " + _summarise(diffs)))
+                failed = True
+                break
+        if not failed:
+            outcomes.append(CheckOutcome(
+                name, True,
+                f"{len(mix)} cores identical, weighted "
+                f"ipcs {[round(r.ipc, 3) for r in generator.results]}"))
+    return outcomes
+
+
 def check_shm_grid_matches_serial(workload_names: Sequence[str], *,
                                   policies: Sequence[str], prefetcher: str,
                                   warmup: int, sim: int, jobs: int) -> CheckOutcome:
@@ -479,6 +525,8 @@ def run_validation_suite(
     for outcome in check_packed_matches_generator(anchor, warmup=warmup, sim=sim):
         record(outcome)
     for outcome in check_vectorized_matches_fused(anchor, warmup=warmup, sim=sim):
+        record(outcome)
+    for outcome in check_mix_packed_matches_generator(warmup=warmup, sim=sim):
         record(outcome)
     for outcome in check_invariants_clean(workload_names, policies=policies,
                                           prefetcher=prefetcher, warmup=warmup, sim=sim):

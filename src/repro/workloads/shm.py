@@ -65,6 +65,8 @@ _SPILLED = get_metrics().counter(
     "shm.spilled", "packs that spilled to an mmap file instead of /dev/shm")
 _ATTACH_COUNTER = get_metrics().counter(
     "shm.attached", "zero-copy pack attachments made by this process")
+_REAPED = get_metrics().counter(
+    "shm.reaped", "stale segments of dead owners unlinked at store creation")
 
 __all__ = [
     "PackHandle",
@@ -73,6 +75,7 @@ __all__ = [
     "detach_all",
     "install_attachments",
     "live_segments",
+    "reap_stale_segments",
 ]
 
 #: packs larger than this spill to an mmap-able file instead of /dev/shm
@@ -174,6 +177,7 @@ class SharedPackStore:
         self._spill_paths: list[Path] = []
         self._seq = 0
         self._closed = False
+        reap_stale_segments()
         atexit.register(self.close)
 
     # -- publishing -------------------------------------------------------
@@ -389,3 +393,45 @@ def live_segments() -> list[str]:
     if not shm_dir.is_dir():  # pragma: no cover - non-Linux
         return []
     return sorted(p.name for p in shm_dir.glob("repro-pack-*"))
+
+
+def reap_stale_segments() -> int:
+    """Unlink ``repro-pack-*`` segments whose owning process is dead.
+
+    ``close()`` rides ``atexit``, but SIGKILL (OOM killer, a cancelled CI
+    job, ``timeout -s KILL``) never runs it, and an orphaned segment then
+    pins /dev/shm memory forever — a long-lived sweep service would leak
+    its way out of shared memory across crashes.  Segment names embed the
+    owner pid, so any segment whose pid no longer exists can never be
+    closed by its store again and is safe to reclaim; live owners (this
+    process, concurrent sweeps) are never touched.  Runs at every store
+    creation; returns the number of segments reclaimed.
+    """
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():  # pragma: no cover - non-Linux
+        return 0
+    reaped = 0
+    for path in shm_dir.glob("repro-pack-*"):
+        parts = path.name.split("-")
+        try:
+            pid = int(parts[2])
+        except (IndexError, ValueError):  # spill files etc.: not pid-named
+            continue
+        try:
+            os.kill(pid, 0)
+            continue  # owner is alive (or pid recycled): leave it alone
+        except ProcessLookupError:
+            pass
+        except PermissionError:  # pragma: no cover - alive, other user
+            continue
+        try:
+            path.unlink()
+        except FileNotFoundError:  # pragma: no cover - raced another reaper
+            continue
+        reaped += 1
+    if reaped:
+        _REAPED.inc(reaped)
+        from repro.obs import log_event
+
+        log_event("shm-reap", segments=reaped)
+    return reaped

@@ -1,9 +1,16 @@
 """Multi-core mix simulation."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.core.policies import DiscardPgc
-from repro.cpu.multicore import MixResult, isolation_ipc, simulate_mix
+from repro.cpu.multicore import (
+    MixResult,
+    isolation_ipc,
+    simulate_mix,
+    weighted_speedup,
+)
 from repro.cpu.simulator import SimConfig, simulate
 from repro.workloads.patterns import Gather, Stream
 from repro.workloads.synthetic import SyntheticWorkload
@@ -78,6 +85,145 @@ class TestWeightedIpc:
             results.weighted_ipc([1.0, 0.0])
 
 
+def qmm_workload(name="qmmish", seed=5):
+    """A QMM-suite workload: simulate_mix halves its per-core budgets."""
+    return SyntheticWorkload(
+        name, "QMM_INT", seed,
+        [(lambda: Stream(0, footprint_pages=128), 1 << 30)],
+        mean_gap=2.0,
+    )
+
+
+class TestConfigKnobs:
+    """simulate_mix used to silently ignore kernel/packed/validate."""
+
+    def test_unknown_kernel_rejected(self):
+        mix = [workload(f"w{i}", i + 1, footprint_pages=128) for i in range(2)]
+        with pytest.raises(ValueError, match="unknown packed kernel tier"):
+            simulate_mix(mix, replace(quick_config(), kernel="bogus"))
+
+    def test_packed_matches_generator(self):
+        # include a QMM core: its halved budget makes it finish early and
+        # replay, pushing the packed loop through the overflow seam
+        mix = [qmm_workload(), *(workload(f"w{i}", i + 1, footprint_pages=128)
+                                 for i in range(3))]
+        generator = simulate_mix(mix, quick_config())
+        packed = simulate_mix(mix, replace(quick_config(), packed=True))
+        for a, b in zip(generator.results, packed.results):
+            assert a == b
+
+    def test_vectorized_kernel_implies_packed(self, monkeypatch):
+        import repro.cpu.multicore as mc
+
+        calls = []
+        real = mc._drive_mix_packed
+
+        def spy(*args, **kwargs):
+            calls.append(True)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(mc, "_drive_mix_packed", spy)
+        mix = [workload(f"w{i}", i + 1, footprint_pages=128) for i in range(2)]
+        result = simulate_mix(mix, replace(quick_config(), kernel="vectorized"))
+        assert calls and len(result.results) == 2
+
+    def test_validate_attaches_checker_per_core(self, monkeypatch):
+        from repro.validate import InvariantChecker
+
+        attached = []
+        real_attach = InvariantChecker.attach
+
+        def spy(self, engine):
+            attached.append(engine)
+            return real_attach(self, engine)
+
+        monkeypatch.setattr(InvariantChecker, "attach", spy)
+        mix = [workload(f"w{i}", i + 1, footprint_pages=128) for i in range(2)]
+        simulate_mix(mix, replace(quick_config(), validate=True))
+        assert len(attached) == 2
+
+    def test_validate_passes_on_clean_mix(self):
+        mix = [qmm_workload(), workload("plain", 6, footprint_pages=128)]
+        clean = simulate_mix(mix, replace(quick_config(), validate=True))
+        plain = simulate_mix(mix, quick_config())
+        # validation is observational: identical results either way
+        assert [r.ipc for r in clean.results] == [r.ipc for r in plain.results]
+
+
+class TestHeapOrder:
+    def test_identical_cores_tie_break_deterministically(self):
+        # all cores share one retire clock, so every heap pop is decided by
+        # the core-index tie-break; any instability would desynchronise the
+        # shared LLC and show up as cross-run IPC jitter
+        mix = [workload("same", 7, footprint_pages=256) for _ in range(4)]
+        a = simulate_mix(mix, quick_config())
+        b = simulate_mix(mix, quick_config())
+        assert [r.ipc for r in a.results] == [r.ipc for r in b.results]
+        packed = simulate_mix(mix, replace(quick_config(), packed=True))
+        assert [r.ipc for r in packed.results] == [r.ipc for r in a.results]
+
+
+class TestWeightedSpeedupCanonical:
+    def test_metrics_delegates_to_multicore(self):
+        from repro.experiments.metrics import weighted_speedup as via_metrics
+
+        assert via_metrics([1.0, 2.0], [0.5, 1.0]) == weighted_speedup(
+            [1.0, 2.0], [0.5, 1.0]) == 4.0
+
+    def test_negative_isolation_rejected_everywhere(self):
+        # the two copies used to disagree: MixResult raised only on iso == 0
+        from repro.experiments.metrics import weighted_speedup as via_metrics
+
+        with pytest.raises(ValueError, match="core 1"):
+            weighted_speedup([1.0, 1.0], [1.0, -0.5])
+        with pytest.raises(ValueError, match="core 1"):
+            via_metrics([1.0, 1.0], [1.0, -0.5])
+
+    def test_labels_name_the_offending_core(self):
+        with pytest.raises(ValueError, match="'b'"):
+            weighted_speedup([1.0, 1.0], [1.0, 0.0], labels=["a", "b"])
+
+
+class TestMixTelemetry:
+    def test_drives_counter_labels_mix_modes(self):
+        from repro.obs.metrics import get_metrics
+
+        def mode_count(snap, mode):
+            metric = snap.counters.get("sim.drives", {"series": {}})
+            return sum(value for labels, value in metric["series"].items()
+                       if dict(labels).get("mode") == mode)
+
+        mix = [workload(f"w{i}", i + 1, footprint_pages=128) for i in range(2)]
+        before = get_metrics().snapshot()
+        simulate_mix(mix, quick_config())
+        simulate_mix(mix, replace(quick_config(), packed=True))
+        after = get_metrics().snapshot()
+        assert mode_count(after, "mix-generator") == mode_count(before, "mix-generator") + 1
+        assert mode_count(after, "mix-packed") == mode_count(before, "mix-packed") + 1
+
+    def test_journal_tags_mix_and_core(self, tmp_path):
+        from repro.obs import Observability, RunJournal
+        from repro.obs.journal import read_journal
+
+        path = tmp_path / "mix.jsonl"
+        obs = Observability(journal=RunJournal(path))
+        mix = [workload(f"w{i}", i + 1, footprint_pages=128) for i in range(2)]
+        simulate_mix(mix, quick_config(), obs=obs, mix_id=17)
+        obs.close()
+        records = read_journal(path)
+        assert len(records) == 2
+        assert [r["context"]["mix"] for r in records] == [17, 17]
+        assert sorted(r["context"]["core"] for r in records) == [0, 1]
+
+    def test_timeline_rejected(self):
+        from repro.obs import Observability, TimelineRecorder
+
+        mix = [workload(f"w{i}", i + 1, footprint_pages=128) for i in range(2)]
+        with pytest.raises(ValueError, match="single-core"):
+            simulate_mix(mix, quick_config(),
+                         obs=Observability(timeline=TimelineRecorder()))
+
+
 class TestPerCoreBudgets:
     def test_qmm_core_journals_halved_budget(self):
         # QMM workloads run half-length traces; the per-core config handed
@@ -122,3 +268,58 @@ class TestPerCoreLlcStats:
         r = simulate(w, quick_config())
         # in single-core runs the per-core view covers all demand traffic
         assert r.llc_mpki > 0
+
+
+class TestOverflowTailCache:
+    """The memoised overflow stream serves the exact uncached records."""
+
+    def setup_method(self):
+        from repro.cpu import fastpath_mix
+        fastpath_mix.clear_overflow_tails()
+
+    def test_cached_stream_matches_fresh_iterator(self):
+        from itertools import islice
+        from repro.cpu.fastpath_mix import (
+            _TAIL_CACHE, _overflow_iterator, _tail_records,
+        )
+        w = workload("tailed", 21)
+        want = list(islice(_overflow_iterator(w, 100), 500))
+        # cold pass populates the cache, warm pass replays it
+        assert list(islice(_tail_records(w, 100), 500)) == want
+        assert len(_TAIL_CACHE) == 1
+        (tail,) = _TAIL_CACHE.values()
+        assert len(tail.records) >= 500
+        assert list(islice(_tail_records(w, 100), 500)) == want
+        # a second consumer interleaved mid-stream stays consistent too
+        a, b = _tail_records(w, 100), _tail_records(w, 100)
+        got = [next(a), next(b), next(a), next(b)]
+        assert got == [want[0], want[0], want[1], want[1]]
+
+    def test_seedless_workloads_are_not_cached(self):
+        from itertools import islice
+        from repro.cpu.fastpath_mix import _TAIL_CACHE, _tail_records
+
+        class Anon:
+            name = "anon"
+            def generate(self):
+                return iter([(i, i, 0, 0) for i in range(10)])
+
+        assert list(islice(_tail_records(Anon(), 4), 3)) == [
+            (4, 4, 0, 0), (5, 5, 0, 0), (6, 6, 0, 0)]
+        assert not _TAIL_CACHE
+
+    def test_cap_falls_back_to_private_stream(self, monkeypatch):
+        from itertools import islice
+        from repro.cpu import fastpath_mix
+        monkeypatch.setattr(fastpath_mix, "_TAIL_RECORD_CAP", 8)
+        w = workload("capped", 22)
+        want = list(islice(fastpath_mix._overflow_iterator(w, 10), 40))
+        assert list(islice(fastpath_mix._tail_records(w, 10), 40)) == want
+        (tail,) = fastpath_mix._TAIL_CACHE.values()
+        assert len(tail.records) == 8
+
+    def test_mix_results_identical_with_warm_tails(self):
+        mix = [workload(f"m{i}", i + 40) for i in range(3)] + [qmm_workload()]
+        cold = simulate_mix(mix, quick_config())
+        warm = simulate_mix(mix, quick_config())
+        assert [r.ipc for r in cold.results] == [r.ipc for r in warm.results]

@@ -274,6 +274,39 @@ class TestValidate:
         assert any(name.startswith("mutation-detected") for name in names)
 
 
+class TestMixCommand:
+    FAST = ["--mixes", "1", "--cores", "2", "--warmup", "500", "--sim", "1500"]
+
+    def test_mix_table(self, capsys):
+        code = main(["mix", *self.FAST, "--policies", "discard", "dripper"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "weighted speedup over discard" in out
+        assert "dripper" in out
+
+    def test_mix_json_jobs2_journal(self, tmp_path, capsys):
+        journal = tmp_path / "mix.jsonl"
+        code = main(["mix", *self.FAST, "--policies", "discard", "permit",
+                     "--jobs", "2", "--json", "--journal", str(journal)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["baseline"] == "discard"
+        assert len(payload["policies"]["permit"]["per_mix_pct"]) == 1
+        from repro.obs import read_journal
+
+        records = read_journal(journal)
+        mix_records = [r for r in records
+                       if (r.get("context") or {}).get("mix") is not None]
+        assert len(mix_records) == 2 * 2  # 2 policies x 2 cores
+        capsys.readouterr()
+        assert main(["status", "--journal", str(journal)]) == 0
+        assert "mix work" in capsys.readouterr().out
+
+    def test_mix_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mix", "--policies", "bogus"])
+
+
 class TestTelemetryFlags:
     FAST = ["--warmup", "1000", "--sim", "3000"]
 

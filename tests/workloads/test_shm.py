@@ -173,3 +173,60 @@ class TestShmSimulation:
                 simulate(w, self._config(2_000, 6_000, packed=True))
             assert str(shared.value) == str(generator.value)
             detach_all()
+
+
+class TestStaleReaper:
+    """Segments orphaned by a SIGKILLed owner are reclaimed, live ones kept."""
+
+    def test_dead_owner_segment_is_reaped(self):
+        from multiprocessing import shared_memory
+
+        from repro.workloads.shm import live_segments, reap_stale_segments
+
+        # fabricate an orphan: no process can own pid 2**22+1 on this box
+        # (beyond default pid_max ordering is irrelevant — just not alive)
+        dead_pid = 2 ** 22 + 1
+        name = f"repro-pack-{dead_pid}-0"
+        seg = shared_memory.SharedMemory(create=True, size=64, name=name)
+        seg.close()
+        try:
+            assert name in live_segments()
+            assert reap_stale_segments() >= 1
+            assert name not in live_segments()
+        finally:
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+
+    def test_live_owner_segment_survives(self):
+        import os
+        from multiprocessing import shared_memory
+
+        from repro.workloads.shm import live_segments, reap_stale_segments
+
+        name = f"repro-pack-{os.getpid()}-999999"
+        seg = shared_memory.SharedMemory(create=True, size=64, name=name)
+        seg.close()
+        try:
+            reap_stale_segments()
+            assert name in live_segments()
+        finally:
+            seg.unlink()
+
+    def test_store_creation_sweeps_orphans(self):
+        from multiprocessing import shared_memory
+
+        from repro.workloads.shm import SharedPackStore, live_segments
+
+        name = f"repro-pack-{2 ** 22 + 2}-0"
+        seg = shared_memory.SharedMemory(create=True, size=64, name=name)
+        seg.close()
+        try:
+            with SharedPackStore():
+                assert name not in live_segments()
+        finally:
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                pass
