@@ -5,7 +5,11 @@ Result equality is asserted hard — the fast path's whole contract is that
 advisory: a single CI run is far too noisy to gate a merge on the measured
 ratio (see ``scripts/bench_hotloop.py`` for the careful methodology), so the
 only hard floor here is a generous one that catches the fast path becoming
-*slower* than the generator it replaces.
+*slower* than the generator it replaces.  Phase-sampled simulation is the
+one exception with a hard *accuracy* gate: its recorded ``BENCH_0008.json``
+artifact must clear the ≥5x-at-≤2%-IPC-error acceptance bar, and the live
+reduced-scale race bounds the reconstruction error hard while keeping the
+wall-clock floor generous.
 """
 
 from time import perf_counter
@@ -199,3 +203,69 @@ class TestVectorizedKernelTier:
             f"hot_0: vectorized speedup {measured:.2f}x fell below "
             f"{floor:.2f}x (BENCH_0006 recorded {recorded:.2f}x) — is the "
             "span scan bailing to per-record stepping?")
+
+
+class TestSampledSimulation:
+    """Phase-sampled simulation (PR 10) must stay fast *and* stay honest.
+
+    ``BENCH_0008.json`` records the sampled-vs-full race at paper-like scale
+    (200k+2M instructions): the recorded artifact itself is gated hard —
+    ≥5x wall-clock at ≤2% relative IPC error is the feature's acceptance
+    bar, so a regenerated benchmark that misses it should fail CI.  The live
+    leg re-races a reduced-scale cell: the error bound stays hard (accuracy
+    does not get noisier on a loaded host), while the speedup floor is the
+    usual generous fraction of what the reduced scale can deliver.
+    """
+
+    MARGIN = 0.5
+
+    def _baseline(self):
+        import json
+        from pathlib import Path
+
+        doc = json.loads(
+            (Path(__file__).resolve().parent.parent / "BENCH_0008.json").read_text())
+        return doc["sampled"]
+
+    def test_recorded_artifact_meets_acceptance(self):
+        recorded = self._baseline()
+        assert recorded["sim_instructions"] >= 2_000_000
+        assert recorded["speedup"] >= 5.0, (
+            f"BENCH_0008 records only {recorded['speedup']:.2f}x — the "
+            "sampled path no longer clears the 5x acceptance bar")
+        assert recorded["rel_error"] <= 0.02, (
+            f"BENCH_0008 records {recorded['rel_error']:.2%} IPC error — "
+            "over the 2% acceptance bound")
+        # the reconstruction simulates a small fraction of the trace; that
+        # ratio is where the speedup comes from
+        assert recorded["simulated_instructions"] * 3 < recorded["total_instructions"]
+
+    def test_reduced_scale_sampled_fast_and_accurate(self):
+        from repro.experiments.sampling import SamplingConfig
+
+        recorded = self._baseline()
+        workload = by_name(recorded["workload"])
+        warmup, sim = 8_000, 200_000
+        spec = RunSpec(prefetcher=recorded["prefetcher"],
+                       policy=recorded["policy"],
+                       warmup_instructions=warmup, sim_instructions=sim,
+                       packed=True)
+        full_config = spec.config_for(workload)
+        sampled_config = spec.config_for(workload)
+        sampled_config.sampling = SamplingConfig(
+            intervals=32, phases=6,
+            warmup_fraction=recorded["warmup_fraction"])
+        get_packed(workload, warmup, sim)  # pre-pack (steady-state timing)
+        t_full, full_result = _best_of(2, lambda: simulate(workload, full_config))
+        t_sampled, sampled_result = _best_of(
+            2, lambda: simulate(workload, sampled_config))
+        rel_error = abs(sampled_result.ipc - full_result.ipc) / full_result.ipc
+        assert rel_error <= 0.05, (
+            f"sampled IPC {sampled_result.ipc:.4f} is {rel_error:.2%} from "
+            f"the full run's {full_result.ipc:.4f} at reduced scale — "
+            "reconstruction bias crept in")
+        measured = t_full / t_sampled
+        assert measured > 1.5, (
+            f"sampled speedup {measured:.2f}x at reduced scale — profiling/"
+            "clustering overhead is eating the skipped-span savings "
+            f"(BENCH_0008 recorded {recorded['speedup']:.2f}x at full scale)")

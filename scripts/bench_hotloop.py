@@ -21,6 +21,13 @@ against the vectorized span-skipping tier
 (``SimConfig(kernel="vectorized")``) on hit-dominated kernel workloads
 plus the main workload, again aborting unless the tiers are bit-identical.
 
+``--sampled`` benchmarks phase-sampled simulation
+(:mod:`repro.experiments.sampling`) instead: one full packed run against
+the stitched representative reconstruction at paper-like scale (default
+200k+2M instructions on mcf), reporting wall-clock speedup next to the
+reconstruction's relative IPC error and aborting if the error exceeds the
+``SamplingConfig.max_rel_error`` bound.  Writes ``BENCH_0008.json``.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_hotloop.py \
@@ -311,6 +318,72 @@ def bench_mix(n_mixes: int, cores: int, policies, prefetcher: str,
     }
 
 
+def bench_sampled(workload, prefetcher: str, policy: str, warmup: int,
+                  sim: int, sampling, repeats: int) -> dict:
+    """Time a full packed run against its phase-sampled reconstruction.
+
+    Both legs replay the same pre-built pack; the sampled leg profiles,
+    clusters, and stitches only the representative intervals
+    (:mod:`repro.experiments.sampling`).  Unlike the other benchmarks the
+    two legs are *not* bit-identical by contract — sampling trades accuracy
+    for wall-clock — so instead of a result diff this asserts the
+    reconstruction's relative IPC error stays within
+    ``sampling.max_rel_error`` of the full run, and reports the error next
+    to the speedup.
+    """
+    from repro.experiments.sampling import plan_phases
+
+    spec = RunSpec(prefetcher=prefetcher, policy=policy,
+                   warmup_instructions=warmup, sim_instructions=sim,
+                   packed=True)
+    full_config = spec.config_for(workload)
+    sampled_config = spec.config_for(workload)
+    sampled_config.sampling = sampling
+
+    packed_trace = get_packed(workload, warmup, sim)
+    plan = plan_phases(packed_trace, warmup, sim, sampling)
+
+    t_full, full_result, t_sampled, sampled_result, speedup = _best_of_interleaved(
+        repeats,
+        lambda: simulate(workload, full_config),
+        lambda: simulate(workload, sampled_config),
+    )
+
+    rel_error = abs(sampled_result.ipc - full_result.ipc) / full_result.ipc
+    if rel_error > sampling.max_rel_error:
+        raise SystemExit(
+            f"FAIL: sampled IPC {sampled_result.ipc:.4f} is {rel_error:.2%} "
+            f"from the full run's {full_result.ipc:.4f} for {workload.name}/"
+            f"{prefetcher}/{policy} — over the {sampling.max_rel_error:.0%} "
+            f"bound the SamplingConfig claims"
+        )
+
+    return {
+        "workload": workload.name,
+        "prefetcher": prefetcher,
+        "policy": policy,
+        "warmup_instructions": warmup,
+        "sim_instructions": sim,
+        "records": len(packed_trace),
+        "intervals": sampling.intervals,
+        "phases": len(plan.phases),
+        "warmup_fraction": sampling.warmup_fraction,
+        "seed": sampling.seed,
+        "simulated_instructions": plan.simulated_instructions(),
+        "total_instructions": plan.total_instructions,
+        "full_seconds": t_full,
+        "sampled_seconds": t_sampled,
+        #: median of per-pair wall-time ratios (see _best_of_interleaved)
+        "speedup": speedup,
+        "ipc_full": full_result.ipc,
+        "ipc_sampled": sampled_result.ipc,
+        "ipc_ci_lo": sampled_result.ipc_ci_lo,
+        "ipc_ci_hi": sampled_result.ipc_ci_hi,
+        "rel_error": rel_error,
+        "max_rel_error": sampling.max_rel_error,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workload", default="astar")
@@ -355,7 +428,58 @@ def main() -> int:
                         help="interleaved mix-grid repeats")
     parser.add_argument("--mix-out", default=str(REPO_ROOT / "BENCH_0007.json"),
                         help="mix benchmark JSON path ('' to skip writing)")
+    parser.add_argument("--sampled", action="store_true",
+                        help="benchmark phase-sampled simulation instead: a "
+                             "full packed run vs the stitched representative "
+                             "reconstruction, reporting speedup + IPC error")
+    parser.add_argument("--sampled-workload", default="mcf")
+    parser.add_argument("--sampled-policy", default="dripper")
+    parser.add_argument("--sampled-warmup", type=int, default=200_000)
+    parser.add_argument("--sampled-sim", type=int, default=2_000_000)
+    parser.add_argument("--sampled-intervals", type=int, default=64)
+    parser.add_argument("--sampled-phases", type=int, default=8)
+    parser.add_argument("--sampled-warmup-fraction", type=float, default=0.5)
+    parser.add_argument("--sampled-repeats", type=int, default=2,
+                        help="interleaved sampled-benchmark repeats (each "
+                             "repeat pays one full 2M-instruction run)")
+    parser.add_argument("--sampled-out",
+                        default=str(REPO_ROOT / "BENCH_0008.json"),
+                        help="sampled benchmark JSON path ('' to skip writing)")
     args = parser.parse_args()
+
+    if args.sampled:
+        from repro.experiments.sampling import SamplingConfig
+
+        clear_pack_cache()
+        sampling = SamplingConfig(intervals=args.sampled_intervals,
+                                  phases=args.sampled_phases,
+                                  warmup_fraction=args.sampled_warmup_fraction)
+        cell = bench_sampled(by_name(args.sampled_workload),
+                             args.prefetchers[0], args.sampled_policy,
+                             args.sampled_warmup, args.sampled_sim,
+                             sampling, args.sampled_repeats)
+        print(format_table(
+            ["full", "sampled", "speedup", "ipc full", "ipc sampled", "error"],
+            [(f"{cell['full_seconds']:.2f}s", f"{cell['sampled_seconds']:.2f}s",
+              f"{cell['speedup']:.2f}x", f"{cell['ipc_full']:.4f}",
+              f"{cell['ipc_sampled']:.4f}", f"{cell['rel_error']:.2%}")],
+            f"phase-sampled: {cell['workload']}/{cell['prefetcher']}/"
+            f"{cell['policy']}, {cell['warmup_instructions']}+"
+            f"{cell['sim_instructions']} instructions, {cell['intervals']} "
+            f"intervals -> {cell['phases']} phases "
+            f"(median of {args.sampled_repeats})",
+        ))
+        if args.sampled_out:
+            payload = {
+                "benchmark": "sampled-hotloop",
+                "python": platform.python_version(),
+                "cpus": len(os.sched_getaffinity(0)),
+                "repeats": args.sampled_repeats,
+                "sampled": cell,
+            }
+            Path(args.sampled_out).write_text(json.dumps(payload, indent=2) + "\n")
+            print(f"\nwrote {args.sampled_out}")
+        return 0
 
     if args.mix:
         clear_pack_cache()

@@ -89,6 +89,20 @@ from repro.workloads.trace_io import FileWorkload, convert_champsim, snapshot_wo
 _POLICIES = ("discard", "permit", "discard-ptw", "iso", "ppf", "ppf+dthr", "dripper", "dripper-sf")
 
 
+def _sampling_config(args: argparse.Namespace):
+    """Build a SamplingConfig from ``--sampling``/friends (None when off)."""
+    phases = getattr(args, "sampling", None)
+    if not phases:
+        return None
+    from repro.experiments.sampling import SamplingConfig
+
+    return SamplingConfig(
+        phases=phases,
+        intervals=getattr(args, "sampling_intervals", 64),
+        seed=getattr(args, "sampling_seed", 0),
+    )
+
+
 def _spec(args: argparse.Namespace, policy: str) -> RunSpec:
     return RunSpec(
         prefetcher=args.prefetcher,
@@ -100,11 +114,12 @@ def _spec(args: argparse.Namespace, policy: str) -> RunSpec:
         validate=getattr(args, "validate", False),
         packed=getattr(args, "packed", False),
         kernel=getattr(args, "kernel", "fused"),
+        sampling=_sampling_config(args),
     )
 
 
 def _result_rows(result) -> list[tuple[str, str]]:
-    return [
+    rows = [
         ("IPC", f"{result.ipc:.4f}"),
         ("L1D MPKI", f"{result.l1d_mpki:.2f}"),
         ("LLC MPKI", f"{result.llc_mpki:.2f}"),
@@ -117,6 +132,13 @@ def _result_rows(result) -> list[tuple[str, str]]:
         ("speculative walks", str(result.speculative_walks)),
         ("DRAM reads/writes", f"{result.dram_reads}/{result.dram_writes}"),
     ]
+    if result.sampled_intervals:
+        rows.insert(1, (
+            "IPC CI / sampling",
+            f"[{result.ipc_ci_lo:.4f}, {result.ipc_ci_hi:.4f}] "
+            f"({result.sampled_phases} phases / "
+            f"{result.sampled_intervals} intervals)"))
+    return rows
 
 
 def _resolve_workload(args: argparse.Namespace):
@@ -310,6 +332,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         validate=args.validate,
         packed=args.packed,
         kernel=args.kernel,
+        sampling=_sampling_config(args),
     )
     _setup_telemetry(args)
     obs = _make_obs(args)
@@ -651,11 +674,26 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--packed", action="store_true",
                        help="drive the simulation through the packed-trace fast "
                             "path (bit-identical results, substantially faster)")
-        p.add_argument("--kernel", choices=("fused", "vectorized"),
+        p.add_argument("--kernel", choices=("fused", "vectorized", "auto"),
                        default="fused",
                        help="packed kernel tier: 'vectorized' skips uneventful "
-                            "spans with numpy scans (implies --packed; "
-                            "bit-identical results)")
+                            "spans with numpy scans, 'auto' probes each pack's "
+                            "event density and picks the winning tier (both "
+                            "imply --packed; bit-identical results)")
+        p.add_argument("--sampling", type=_positive_int, default=None,
+                       metavar="PHASES",
+                       help="phase-sampled simulation: cluster the trace into "
+                            "PHASES phases, simulate one representative "
+                            "interval each, reconstruct the whole-trace "
+                            "result with bootstrap confidence bounds")
+        p.add_argument("--sampling-intervals", type=_positive_int, default=64,
+                       metavar="N",
+                       help="profiling resolution for --sampling: split the "
+                            "measured region into N equal-instruction "
+                            "intervals (default: 64)")
+        p.add_argument("--sampling-seed", type=int, default=0, metavar="SEED",
+                       help="seed for clustering init and the bootstrap "
+                            "(sampled runs are bit-reproducible per seed)")
 
     def add_parallel_args(p: argparse.ArgumentParser) -> None:
         g = p.add_argument_group("execution")
@@ -727,10 +765,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="attach the runtime invariant checker to every run")
     swp_p.add_argument("--packed", action="store_true",
                        help="drive every run through the packed-trace fast path")
-    swp_p.add_argument("--kernel", choices=("fused", "vectorized"),
+    swp_p.add_argument("--kernel", choices=("fused", "vectorized", "auto"),
                        default="fused",
-                       help="packed kernel tier for every run (vectorized "
-                            "implies --packed)")
+                       help="packed kernel tier for every run (vectorized/"
+                            "auto imply --packed)")
+    swp_p.add_argument("--sampling", type=_positive_int, default=None,
+                       metavar="PHASES",
+                       help="phase-sample every sweep cell into PHASES phases "
+                            "(reconstructed results with confidence bounds)")
+    swp_p.add_argument("--sampling-intervals", type=_positive_int, default=64,
+                       metavar="N",
+                       help="profiling intervals per cell for --sampling")
+    swp_p.add_argument("--sampling-seed", type=int, default=0, metavar="SEED",
+                       help="sampling seed (clustering init + bootstrap)")
     add_parallel_args(swp_p)
     add_obs_args(swp_p)
     swp_p.set_defaults(func=cmd_sweep)

@@ -63,13 +63,65 @@ from repro.prefetch.base import NoPrefetcher
 from repro.prefetch.next_line import NextLinePrefetcher
 from repro.vm.address import LINE_SHIFT, PAGE_4K_SHIFT, PAGE_2M_SHIFT
 from repro.workloads.packed import PackedTrace
+from repro.workloads.trace import BRANCH, DEPENDS, LOAD, MISPREDICT, STORE
 
-__all__ = ["drive_packed_vec"]
+__all__ = ["drive_packed_auto", "drive_packed_vec", "predict_vec_win"]
 
 #: span-scan window bounds (records); the window adapts within these
 _WINDOW_MIN = 128
 _WINDOW_START = 1024
 _WINDOW_MAX = 8192
+
+#: event-density ceiling for the ``kernel="auto"`` tier probe.  The span
+#: kernel wins by skipping long uneventful runs; once a sizable fraction of
+#: records are events the scan overhead loses to the fused loop
+#: (BENCH_0006: hot_0 at ~0 density gains 5.75x, astar at ~0.5 density
+#: regresses to 0.61x).  Between those extremes profitability crosses over
+#: well below 0.25 — event records break spans, and span setup only
+#: amortises over runs tens of records long.
+_AUTO_EVENT_DENSITY_MAX = 0.10
+
+
+def predict_vec_win(packed: PackedTrace) -> bool:
+    """Cheap pack-level probe: is the span-skipping tier expected to win?
+
+    Measures the fraction of records the span predicate must always hand to
+    the slow path (branch/mispredict/dependent flags, non-memory records,
+    gaps large enough to trigger straight-line I-fetch) — three vectorized
+    column ops, no simulation and no :class:`PackIndex` build.  Empty packs
+    report False (nothing to skip).
+    """
+    if not len(packed):
+        return False
+    _, _, flags, gaps = packed.columns()
+    fl = flags.astype(np.int64)
+    event = (
+        ((fl & (BRANCH | MISPREDICT | DEPENDS)) != 0)
+        | ((fl & (LOAD | STORE)) == 0)
+        | (gaps.astype(np.int64) > 15)
+    )
+    return float(event.mean()) <= _AUTO_EVENT_DENSITY_MAX
+
+
+def drive_packed_auto(engine: CoreEngine, packed: PackedTrace, config) -> float:
+    """``kernel="auto"``: probe the pack, pick the tier expected to win.
+
+    Selects the vectorized span kernel only when the engine qualifies
+    (:func:`_vec_capable`) *and* the pack's event density predicts a win
+    (:func:`predict_vec_win`); everything else runs the fused kernel.  The
+    drive counts under the mode actually chosen, so merged grid metrics
+    still read as fused-vs-vectorized ratios.  Bit-identical either way.
+    """
+    if engine.probe is not None:
+        _DRIVES.inc(mode="stepwise")
+        return _drive_stepwise(engine, packed,
+                               config.warmup_instructions,
+                               config.sim_instructions)
+    if _vec_capable(engine) and predict_vec_win(packed):
+        _DRIVES.inc(mode="vectorized")
+        return _drive_vectorized(engine, packed, config)
+    _DRIVES.inc(mode="fused")
+    return _drive_fused(engine, packed, config)
 
 
 def _vec_capable(engine: CoreEngine) -> bool:

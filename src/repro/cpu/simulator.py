@@ -29,6 +29,7 @@ from repro.vm.walker import PageWalker
 from repro.workloads.trace import Workload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.sampling import SamplingConfig
     from repro.obs import Observability
 
 #: builds a fresh policy per run (policies are stateful and must not be shared)
@@ -64,11 +65,20 @@ class SimConfig:
     #: cached :class:`~repro.workloads.packed.PackedTrace` instead of the
     #: per-record generator loop; results are bit-identical either way
     packed: bool = False
-    #: packed kernel tier: ``"fused"`` (record-at-a-time, PR 4/5) or
+    #: packed kernel tier: ``"fused"`` (record-at-a-time, PR 4/5),
     #: ``"vectorized"`` (span-skipping numpy scans,
-    #: :mod:`repro.cpu.fastpath_vec`).  Selecting ``"vectorized"`` implies
-    #: the packed path; results are bit-identical across tiers
+    #: :mod:`repro.cpu.fastpath_vec`), or ``"auto"`` (an event-density probe
+    #: over the pack picks the tier expected to win).  Anything but
+    #: ``"fused"`` implies the packed path; results are bit-identical
+    #: across tiers
     kernel: str = "fused"
+    #: phase-sampled simulation (:mod:`repro.experiments.sampling`): profile
+    #: the packed trace into phases, simulate one representative interval
+    #: per phase, and reconstruct the whole-trace result with bootstrap
+    #: confidence bounds.  ``None`` (the default) simulates the full window;
+    #: a sampled result is an *approximation* and therefore DOES enter the
+    #: result-cache fingerprint, unlike ``packed``/``kernel``
+    sampling: Optional["SamplingConfig"] = None
 
 
 @dataclass
@@ -124,6 +134,14 @@ class SimResult:
     #: prefetch-installed TLB entries evicted without serving a demand access
     #: (measured region, dTLB + sTLB)
     tlb_prefetch_evicted_unused: int = 0
+    #: phase-sampled reconstruction provenance (0/0.0 on full runs): how many
+    #: profiled intervals and detected phases produced this result, and the
+    #: bootstrap confidence bounds on the reconstructed IPC
+    #: (:mod:`repro.experiments.sampling`)
+    sampled_intervals: int = 0
+    sampled_phases: int = 0
+    ipc_ci_lo: float = 0.0
+    ipc_ci_hi: float = 0.0
 
     @property
     def branch_mpki(self) -> float:
@@ -320,6 +338,17 @@ def simulate(
     and a violation raises :class:`~repro.validate.InvariantViolation`
     (journaled first when the bundle carries a journal).
     """
+    if config.kernel not in ("fused", "vectorized", "auto"):
+        raise ValueError(
+            f"unknown packed kernel tier {config.kernel!r}; "
+            "expected 'fused', 'vectorized', or 'auto'"
+        )
+    if config.sampling is not None:
+        # phase-sampled run: profile, cluster, simulate representatives,
+        # reconstruct — the sampling module owns spans/metrics/obs for it
+        from repro.experiments.sampling import simulate_sampled
+
+        return simulate_sampled(workload, config, obs=obs)
     engine = build_engine(config)
     if obs is not None:
         obs.attach(engine, workload)
@@ -329,16 +358,13 @@ def simulate(
 
         checker = InvariantChecker(obs=obs, workload=workload.name)
         checker.attach(engine)
-    if config.kernel not in ("fused", "vectorized"):
-        raise ValueError(
-            f"unknown packed kernel tier {config.kernel!r}; "
-            "expected 'fused' or 'vectorized'"
-        )
-    if config.packed or config.kernel == "vectorized":
+    if config.packed or config.kernel != "fused":
         from repro.workloads.packed import get_packed
 
         if config.kernel == "vectorized":
             from repro.cpu.fastpath_vec import drive_packed_vec as _drive
+        elif config.kernel == "auto":
+            from repro.cpu.fastpath_vec import drive_packed_auto as _drive
         else:
             from repro.cpu.fastpath import drive_packed as _drive
 

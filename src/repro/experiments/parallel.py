@@ -20,6 +20,14 @@ identity and pack window, and each worker receives whole per-workload chunks
 across all of that workload's (prefetcher × policy × params) cells, instead
 of thrashing the pack cache by round-robining across workloads.
 
+Chunks dispatch **costliest-first**: each chunk's wall-clock is estimated as
+pack record count × the relative drive-loop weight of its cells' page-cross
+policies (:func:`chunk_cost`), and the pool drains the estimates in
+descending order.  On skewed grids — one 10×-longer workload window, or a
+handful of heavyweight DRIPPER/PPF cells amid cheap discard ones — this
+keeps the long poles from landing last and serialising the batch tail; on
+uniform grids it degrades to the old largest-chunk-first order.
+
 With ``shm`` enabled (the default for ``jobs>1``) the parent packs each
 workload of the grid exactly once and publishes the columns through a
 :class:`~repro.workloads.shm.SharedPackStore`; chunks carry their workload's
@@ -166,6 +174,11 @@ def cell_fingerprint(cell: Cell, workload: Optional[Any] = None) -> str:
     spec_dump.pop("validate", None)
     spec_dump.pop("packed", None)
     spec_dump.pop("kernel", None)
+    # sampling, by contrast, changes the result (a reconstruction, not a
+    # bit-identical rerun) and so must stay in the fingerprint when set;
+    # popped when None so pre-sampling cache entries remain addressable
+    if spec_dump.get("sampling") is None:
+        spec_dump.pop("sampling", None)
     identity = describe_workload(workload)
     for knob in ("store_fraction", "code_lines", "mispredict_rate",
                  "branch_profile", "pcs_per_pattern", "path"):
@@ -413,6 +426,39 @@ def _affine_groups(
     return [groups[key] for key in order]
 
 
+#: relative drive-loop cost per page-cross policy, against the discard
+#: baseline — adaptive policies run filter lookups and epoch threshold
+#: feedback on top of the shared memory-system work, PPF evaluates a
+#: perceptron per page-cross candidate.  Coarse by design: scheduling only
+#: needs the *ordering* of chunk estimates, not their absolute scale, so
+#: unknown names defaulting to 1.0 is safe.
+_POLICY_COST = {
+    "discard": 1.0, "discard-pgc": 1.0, "discard-ptw": 1.0,
+    "permit": 1.1, "permit-pgc": 1.1, "iso": 1.1, "iso-storage": 1.1,
+    "dripper": 1.3, "dripper-sf": 1.4,
+    "ppf": 1.6, "ppf+dthr": 1.6, "ppf-dthr": 1.6,
+}
+
+
+def policy_cost_weight(name: str) -> float:
+    """Relative drive-loop weight of one page-cross policy (1.0 = discard)."""
+    return _POLICY_COST.get(name.lower(), 1.0)
+
+
+def chunk_cost(cells: Sequence[Any], indices: Sequence[int],
+               records: int) -> float:
+    """Estimated wall-clock weight of one workload-affine chunk.
+
+    ``records`` is the chunk's pack length (every cell replays the whole
+    pack, so per-cell work is proportional to it); each cell contributes
+    ``records × policy_cost_weight(policy)``.  Used to dispatch chunks
+    costliest-first — see the module docstring.
+    """
+    return float(records) * sum(
+        policy_cost_weight(cells[i].policy or cells[i].spec.policy)
+        for i in indices)
+
+
 def run_cells(
     cells: Sequence[Cell],
     *,
@@ -515,14 +561,18 @@ def run_cells(
             # split each workload's run into chunks small enough to load-
             # balance, but never split a chunk across workloads
             chunk_size = max(1, -(-len(pending) // (workers * 2)))
-            chunks: list[tuple[list[int], Optional[PackHandle]]] = []
+            chunks: list[tuple[list[int], Optional[PackHandle], float]] = []
             for indices, workload, warmup, sim in groups:
                 handle = None
                 if session.store is not None:
                     handle = session.store.publish(workload, warmup, sim)
+                # pack length when published; the window is the proxy
+                # otherwise (records ≈ instructions for gap-light traces)
+                records = handle.n_records if handle is not None else warmup + sim
                 for at in range(0, len(indices), chunk_size):
-                    chunks.append((indices[at:at + chunk_size], handle))
-            chunks.sort(key=lambda c: -len(c[0]))  # largest first
+                    piece = indices[at:at + chunk_size]
+                    chunks.append((piece, handle, chunk_cost(cells, piece, records)))
+            chunks.sort(key=lambda c: -c[2])  # costliest first
             pool = session.pool()
             tracing = current_tracer() is not None
             futures = {
@@ -534,7 +584,7 @@ def run_cells(
                     handle is not None,
                     session.trace_dir if tracing else None,
                 ): piece
-                for piece, handle in chunks
+                for piece, handle, _cost in chunks
             }
             registry = get_metrics()
             for future in as_completed(futures):
@@ -743,20 +793,29 @@ def run_mix_cells(
         if ephemeral:
             session = _GridSession(workers, shm if shm is not None else True)
         try:
-            chunks: list[tuple[int, tuple[PackHandle, ...]]] = []
+            chunks: list[tuple[int, tuple[PackHandle, ...], float]] = []
             for i, cell in enumerate(cells):
                 handles: list[PackHandle] = []
-                if session.store is not None:
-                    config = build_mix_config(cell)
-                    for workload in cell.resolve_workloads():
-                        warmup, sim = (config.warmup_instructions,
-                                       config.sim_instructions)
-                        if workload.suite.startswith("QMM"):
-                            warmup, sim = warmup // 2, sim // 2
+                config = build_mix_config(cell)
+                weight = policy_cost_weight(cell.policy or cell.spec.policy)
+                cost = 0.0
+                for workload in cell.resolve_workloads():
+                    warmup, sim = (config.warmup_instructions,
+                                   config.sim_instructions)
+                    if workload.suite.startswith("QMM"):
+                        warmup, sim = warmup // 2, sim // 2
+                    handle = None
+                    if session.store is not None:
                         handle = session.store.publish(workload, warmup, sim)
                         if handle is not None:
                             handles.append(handle)
-                chunks.append((i, tuple(handles)))
+                    records = (handle.n_records if handle is not None
+                               else warmup + sim)
+                    cost += records * weight
+                chunks.append((i, tuple(handles), cost))
+            # a mix's wall-clock tracks its total per-core record mass —
+            # dispatch the heaviest mixes first so they never land last
+            chunks.sort(key=lambda c: -c[2])
             pool = session.pool()
             tracing = current_tracer() is not None
             futures = {
@@ -768,7 +827,7 @@ def run_mix_cells(
                     True,  # workers always run the packed mix loop
                     session.trace_dir if tracing else None,
                 ): [i]
-                for i, handles in chunks
+                for i, handles, _cost in chunks
             }
             registry = get_metrics()
             for future in as_completed(futures):

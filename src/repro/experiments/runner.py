@@ -18,6 +18,7 @@ from repro.workloads.synthetic import SyntheticWorkload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.cache import ResultCache
+    from repro.experiments.sampling import SamplingConfig
     from repro.obs import Observability
     from repro.obs.progress import ProgressSink
 
@@ -66,10 +67,14 @@ class RunSpec:
     #: drive each run through the packed fast path (bit-identical results;
     #: like `validate`, excluded from the cell fingerprint)
     packed: bool = False
-    #: packed kernel tier ("fused" or "vectorized"); "vectorized" implies
-    #: the packed path and — being bit-identical — is also excluded from
-    #: the cell fingerprint
+    #: packed kernel tier ("fused", "vectorized", or "auto"); anything but
+    #: "fused" implies the packed path and — being bit-identical — is also
+    #: excluded from the cell fingerprint
     kernel: str = "fused"
+    #: phase-sampled simulation (:mod:`repro.experiments.sampling`); a
+    #: sampled result approximates the full window, so — unlike the
+    #: bit-identical knobs above — this DOES enter the cell fingerprint
+    sampling: Optional["SamplingConfig"] = None
 
     def base_config(self) -> SimConfig:
         """Materialise the workload-independent SimConfig for this spec.
@@ -99,6 +104,7 @@ class RunSpec:
             validate=self.validate,
             packed=self.packed,
             kernel=self.kernel,
+            sampling=self.sampling,
         )
 
     def config_for(self, workload: SyntheticWorkload) -> SimConfig:

@@ -1,9 +1,16 @@
-"""Bootstrap confidence intervals for sampled geomean speedups.
+"""Bootstrap confidence intervals for sampled statistics.
 
-Bench samples are small (8-16 workloads), so point geomeans move from seed
-to seed.  A percentile bootstrap over the per-workload speedups quantifies
-that: report ``geomean [lo, hi]`` instead of a bare number, and test whether
-two policies' difference is resolvable at the sample size.
+Two consumers share this layer:
+
+* bench samples are small (8-16 workloads), so point geomeans move from
+  seed to seed — :func:`bootstrap_geomean` / :func:`paired_difference_ci`
+  report ``geomean [lo, hi]`` instead of a bare number and test whether two
+  policies' difference is resolvable at the sample size;
+* phase-sampled simulation (:mod:`repro.experiments.sampling`) reconstructs
+  whole-trace IPC from per-phase representatives — :func:`bootstrap_statistic`
+  resamples the interval population to put an interval around *any* derived
+  statistic (there the ratio-of-sums IPC), quantifying how much the
+  reconstruction could move under a different draw of intervals.
 """
 
 from __future__ import annotations
@@ -11,7 +18,9 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
 
 
 @dataclass(frozen=True)
@@ -31,6 +40,66 @@ class ConfidenceInterval:
     def excludes_zero(self) -> bool:
         """True when the interval resolves the sign of the effect."""
         return self.lo_pct > 0.0 or self.hi_pct < 0.0
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """Percentile-bootstrap interval for an arbitrary statistic (raw units).
+
+    Unlike :class:`ConfidenceInterval` (whose fields are percent-denominated
+    speedups), this carries the statistic in whatever units the caller's
+    function returns — e.g. IPC for sampled-simulation reconstruction.
+    """
+
+    point: float
+    lo: float
+    hi: float
+    confidence: float
+
+    @property
+    def width(self) -> float:
+        """Interval width — the resampling-noise magnitude."""
+        return self.hi - self.lo
+
+    def rel_width(self) -> float:
+        """Width as a fraction of the point estimate (0 when point is 0)."""
+        return self.width / abs(self.point) if self.point else 0.0
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` falls inside the interval (inclusive)."""
+        return self.lo <= value <= self.hi
+
+
+def bootstrap_statistic(
+    samples: Sequence[T],
+    statistic: Callable[[Sequence[T]], float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapInterval:
+    """Percentile bootstrap CI of ``statistic`` over ``samples``.
+
+    ``statistic`` receives a resampled-with-replacement list the same length
+    as ``samples`` and must return one number; the point estimate is the
+    statistic of the original sample.  Deterministic for a fixed ``seed``.
+    A single-element sample yields a degenerate (zero-width) interval —
+    every resample is the sample itself.
+    """
+    if not samples:
+        raise ValueError("no samples to bootstrap")
+    if resamples < 1:
+        raise ValueError(f"resamples must be >= 1, got {resamples}")
+    rng = random.Random(seed)
+    n = len(samples)
+    stats = sorted(
+        statistic([samples[rng.randrange(n)] for _ in range(n)])
+        for _ in range(resamples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    lo = stats[int(alpha * resamples)]
+    hi = stats[min(resamples - 1, int((1.0 - alpha) * resamples))]
+    return BootstrapInterval(statistic(samples), lo, hi, confidence)
 
 
 def _geomean_pct(speedups: Sequence[float]) -> float:

@@ -61,7 +61,7 @@ def describe_config(config: SimConfig, *, policy_name: Optional[str] = None) -> 
     factory = config.policy_factory
     if policy_name is None:
         policy_name = getattr(factory, "name", None) or getattr(factory, "__name__", repr(factory))
-    return {
+    dump = {
         "prefetcher": config.prefetcher,
         "policy": policy_name,
         "l2_prefetcher": config.l2_prefetcher,
@@ -73,6 +73,12 @@ def describe_config(config: SimConfig, *, policy_name: Optional[str] = None) -> 
         "asid": config.asid,
         "params": asdict(config.params),
     }
+    # a sampled run approximates the full window, so its parameters are part
+    # of the result's identity; recorded only when set, which keeps every
+    # full-run fingerprint (and cache entry) from before sampling valid
+    if config.sampling is not None:
+        dump["sampling"] = asdict(config.sampling)
+    return dump
 
 
 def build_run_record(

@@ -9,8 +9,9 @@ Two complementary layers guard the simulator's headline counters:
 * :func:`run_validation_suite` (:mod:`repro.validate.differential`) runs
   metamorphic checks over the production code paths — determinism,
   parallel == serial, shm grid == serial, discard == source suppression,
-  epoch invariance, packed == generator (single-core and per mix core), a
-  clean invariant pass per
+  epoch invariance, packed == generator (single-core and per mix core),
+  sampled-within-error-bound against a full run
+  (:func:`check_sampled_matches_full`), a clean invariant pass per
   (workload × policy), and
   mutation detection via :func:`reintroduce_stale_mshr_bug` — exposed as
   the ``repro validate`` subcommand.
@@ -20,6 +21,7 @@ from repro.validate.differential import (
     CheckOutcome,
     check_mix_packed_matches_generator,
     check_packed_matches_generator,
+    check_sampled_matches_full,
     check_shm_grid_matches_serial,
     result_diff,
     run_validation_suite,
@@ -31,6 +33,7 @@ __all__ = [
     "CheckOutcome",
     "check_mix_packed_matches_generator",
     "check_packed_matches_generator",
+    "check_sampled_matches_full",
     "check_shm_grid_matches_serial",
     "InvariantChecker",
     "InvariantViolation",

@@ -349,6 +349,62 @@ def check_vectorized_matches_fused(workload_name: str, *, warmup: int,
     return outcomes
 
 
+def check_sampled_matches_full(
+    workload_name: str, *, prefetcher: str = "berti", policy: str = "dripper",
+    warmup: int, sim: int, sampling: Optional[Any] = None,
+) -> list[CheckOutcome]:
+    """Phase-sampled reconstruction stays within its claimed error bound.
+
+    Sampling is an *approximation* (functional warm-up cannot rebuild state
+    older than its prefix), so unlike every bit-identity check above this
+    one asserts a bound: the reconstructed IPC must sit within
+    ``sampling.max_rel_error`` of a full run of the same window.  It also
+    asserts the approximation is *reproducible* — two sampled runs with the
+    same seed must be bit-identical (clustering init and the bootstrap are
+    both seeded).
+    """
+    from repro.experiments.sampling import SamplingConfig
+
+    if sampling is None:
+        # Sampling is undefined at the suite's micro windows (a 1.5k-instr
+        # window split 16 ways leaves ~100 instructions per interval, all
+        # boundary noise), so the default check floors the window to the
+        # smallest scale where phases are real and keeps half the intervals
+        # as phases — enough for the seeded clustering to isolate outlier
+        # intervals (astar has two ~30x-slower ones in this window).
+        # Explicit ``sampling=`` keeps the caller's window untouched.
+        warmup = max(warmup, 4_000)
+        sim = max(sim, 48_000)
+        sampling = SamplingConfig(intervals=16, phases=8, warmup_fraction=1.0,
+                                  max_rel_error=0.05)
+    workload = by_name(workload_name)
+    spec = _spec(prefetcher, policy, warmup, sim)
+    config = spec.config_for(workload)
+    full = simulate(workload, config)
+    sampled = simulate(workload, replace(config, sampling=sampling))
+    again = simulate(workload, replace(config, sampling=sampling))
+    outcomes = []
+    diffs = result_diff(sampled, again)
+    det_name = f"sampled-deterministic[{workload_name}/{prefetcher}/{policy}]"
+    if diffs:
+        outcomes.append(CheckOutcome(det_name, False, _summarise(diffs)))
+    else:
+        outcomes.append(CheckOutcome(
+            det_name, True,
+            f"bit-identical across reruns at seed {sampling.seed}"))
+    rel_error = abs(sampled.ipc - full.ipc) / full.ipc if full.ipc else 0.0
+    err_name = f"sampled-error-bound[{workload_name}/{prefetcher}/{policy}]"
+    detail = (
+        f"full ipc {full.ipc:.4f}, sampled {sampled.ipc:.4f} "
+        f"[{sampled.ipc_ci_lo:.4f}, {sampled.ipc_ci_hi:.4f}] "
+        f"({sampled.sampled_phases} phases/{sampled.sampled_intervals} "
+        f"intervals), rel error {100 * rel_error:.2f}% "
+        f"(bound {100 * sampling.max_rel_error:.1f}%)")
+    outcomes.append(CheckOutcome(err_name, rel_error <= sampling.max_rel_error,
+                                 detail))
+    return outcomes
+
+
 def check_mix_packed_matches_generator(*, warmup: int, sim: int,
                                        cores: int = 4) -> list[CheckOutcome]:
     """The packed mix drive loop equals the generator mix loop per core.
@@ -525,6 +581,10 @@ def run_validation_suite(
     for outcome in check_packed_matches_generator(anchor, warmup=warmup, sim=sim):
         record(outcome)
     for outcome in check_vectorized_matches_fused(anchor, warmup=warmup, sim=sim):
+        record(outcome)
+    for outcome in check_sampled_matches_full(anchor, prefetcher=prefetcher,
+                                              policy=policies[-1],
+                                              warmup=warmup, sim=sim):
         record(outcome)
     for outcome in check_mix_packed_matches_generator(warmup=warmup, sim=sim):
         record(outcome)

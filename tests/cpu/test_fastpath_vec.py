@@ -94,6 +94,56 @@ class TestDriveMetric:
         assert drives.value(mode="fused") == before_fused
 
 
+class TestAutoKernel:
+    def test_probe_predicts_by_event_density(self):
+        from repro.cpu.fastpath_vec import predict_vec_win
+        from repro.workloads.packed import get_packed
+
+        # hot_0 is a near-pure hot loop (≈0 event density, 5.75x on the
+        # span kernel per BENCH_0006); astar is event-dense (0.61x)
+        assert predict_vec_win(get_packed(by_name("hot_0"), 2_000, 6_000))
+        assert not predict_vec_win(get_packed(by_name("astar"), 2_000, 6_000))
+
+    def test_empty_pack_reports_false(self):
+        from repro.cpu.fastpath_vec import predict_vec_win
+        from repro.workloads.packed import PackedTrace, get_packed
+
+        p = get_packed(by_name("hot_0"), 2_000, 6_000)
+        empty = PackedTrace(p.name, p.suite, p.pcs[:0], p.vaddrs[:0],
+                            p.flags[:0], p.gaps[:0], warmup=0, sim=0,
+                            instructions=0, complete=False)
+        assert not predict_vec_win(empty)
+
+    @pytest.mark.parametrize("name", ["hot_0", "astar"])
+    def test_auto_matches_fused(self, name):
+        # both probe outcomes: hot_0 routes vectorized, astar routes fused
+        w = by_name(name)
+        fused = simulate(w, config())
+        auto = simulate(w, config(kernel="auto"))
+        assert result_diff(fused, auto) == {}
+
+    def test_auto_counts_tier_actually_chosen(self):
+        drives = get_metrics().counter("sim.drives")
+
+        before = drives.value(mode="vectorized")
+        simulate(by_name("hot_0"), config(kernel="auto"))
+        assert drives.value(mode="vectorized") == before + 1
+
+        before = drives.value(mode="fused")
+        simulate(by_name("astar"), config(kernel="auto"))
+        assert drives.value(mode="fused") == before + 1
+
+    def test_auto_respects_engine_capability(self):
+        # a winning pack still runs fused when the engine disqualifies
+        # (berti is a real L1D prefetcher, so the span predicate is unsound)
+        drives = get_metrics().counter("sim.drives")
+        before_vec = drives.value(mode="vectorized")
+        before_fused = drives.value(mode="fused")
+        simulate(by_name("hot_0"), config(prefetcher="berti", kernel="auto"))
+        assert drives.value(mode="vectorized") == before_vec
+        assert drives.value(mode="fused") == before_fused + 1
+
+
 class TestShmAttachedPacks:
     def test_vectorized_over_attached_pack_matches(self):
         w = by_name("hot_0")

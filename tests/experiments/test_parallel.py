@@ -7,7 +7,9 @@ from repro.experiments.parallel import (
     Cell,
     _affine_groups,
     cell_for,
+    chunk_cost,
     grid_session,
+    policy_cost_weight,
     run_cells,
 )
 from repro.experiments.runner import RunSpec, run_many, run_policies
@@ -220,6 +222,41 @@ class TestAffineScheduling:
         cells = [cell_for(by_name("astar"), spec) for spec in (FAST, longer, FAST)]
         groups = _affine_groups(cells, range(len(cells)))
         assert [idx for idx, _, _, _ in groups] == [[0, 2], [1]]
+
+
+class TestCostAwareScheduling:
+    def test_policy_weights_ordered_by_heaviness(self):
+        assert policy_cost_weight("discard") == 1.0
+        assert policy_cost_weight("DRIPPER") > policy_cost_weight("permit") > \
+            policy_cost_weight("discard")
+        assert policy_cost_weight("ppf") > policy_cost_weight("dripper")
+        assert policy_cost_weight("never-heard-of-it") == 1.0
+
+    def test_chunk_cost_scales_with_records_and_policy(self):
+        cells = [cell_for(by_name("astar"), FAST, policy=p)
+                 for p in ("discard", "dripper")]
+        cheap = chunk_cost(cells, [0], records=1_000)
+        heavy_policy = chunk_cost(cells, [1], records=1_000)
+        long_pack = chunk_cost(cells, [0], records=10_000)
+        both_cells = chunk_cost(cells, [0, 1], records=1_000)
+        assert cheap == 1_000.0
+        assert heavy_policy > cheap
+        assert long_pack == 10 * cheap
+        assert both_cells == pytest.approx(cheap + heavy_policy)
+
+    def test_skewed_grid_parallel_matches_serial(self):
+        # one workload has a 5x window and the heavyweight policy — the
+        # costliest-first dispatch must not perturb results or their order
+        from dataclasses import replace
+
+        long_spec = replace(FAST, sim_instructions=15_000)
+        cells = [cell_for(by_name("hmmer"), FAST, policy=p)
+                 for p in ("discard", "permit")]
+        cells += [cell_for(by_name("astar"), long_spec, policy="dripper")]
+        cells += [cell_for(by_name("mcf"), FAST, policy="discard")]
+        serial = run_cells(cells, jobs=1)
+        parallel = run_cells(cells, jobs=2)
+        assert [r.__dict__ for r in parallel] == [r.__dict__ for r in serial]
 
 
 class TestSharedMemoryGrid:

@@ -3,7 +3,12 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.experiments.stats_ci import bootstrap_geomean, paired_difference_ci
+from repro.experiments.stats_ci import (
+    BootstrapInterval,
+    bootstrap_geomean,
+    bootstrap_statistic,
+    paired_difference_ci,
+)
 
 speedup_lists = st.lists(st.floats(min_value=0.5, max_value=2.0), min_size=3, max_size=30)
 
@@ -71,3 +76,60 @@ class TestPairedDifference:
     def test_misaligned_rejected(self):
         with pytest.raises(ValueError):
             paired_difference_ci([1.0], [1.0, 1.0])
+
+    def test_sign_convention_a_over_b(self):
+        # positive point = A faster; swapping the arguments flips the sign
+        a, b = [1.2, 1.3, 1.25], [1.0, 1.1, 1.05]
+        fwd = paired_difference_ci(a, b)
+        rev = paired_difference_ci(b, a)
+        assert fwd.point_pct > 0 > rev.point_pct
+        # geomean ratios invert exactly: (1+fwd)(1+rev) == 1
+        assert (1 + fwd.point_pct / 100) * (1 + rev.point_pct / 100) == \
+            pytest.approx(1.0, abs=1e-9)
+
+
+class TestBootstrapStatistic:
+    @staticmethod
+    def _ipc(pairs):
+        cycles = sum(c for _, c in pairs)
+        return sum(i for i, _ in pairs) / cycles if cycles else 0.0
+
+    def test_point_is_plugin_estimate(self):
+        pairs = [(100, 400.0), (100, 200.0), (50, 300.0)]
+        ci = bootstrap_statistic(pairs, self._ipc)
+        assert ci.point == pytest.approx(250 / 900)
+        assert ci.lo <= ci.point <= ci.hi
+
+    def test_single_sample_zero_width(self):
+        ci = bootstrap_statistic([(10, 40.0)], self._ipc)
+        assert ci.lo == ci.hi == ci.point == pytest.approx(0.25)
+        assert ci.width == 0.0 and ci.rel_width() == 0.0
+
+    def test_zero_variance_zero_width(self):
+        ci = bootstrap_statistic([(10, 40.0)] * 8, self._ipc)
+        assert ci.width == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic_given_seed(self):
+        pairs = [(100, 400.0), (80, 200.0), (50, 300.0), (120, 500.0)]
+        a = bootstrap_statistic(pairs, self._ipc, seed=5)
+        b = bootstrap_statistic(pairs, self._ipc, seed=5)
+        assert (a.lo, a.hi) == (b.lo, b.hi)
+
+    def test_wider_confidence_wider_interval(self):
+        pairs = [(100, 400.0), (80, 200.0), (50, 300.0), (120, 500.0)]
+        narrow = bootstrap_statistic(pairs, self._ipc, confidence=0.80)
+        wide = bootstrap_statistic(pairs, self._ipc, confidence=0.99)
+        assert wide.width >= narrow.width - 1e-12
+
+    def test_rejects_empty_and_bad_resamples(self):
+        with pytest.raises(ValueError):
+            bootstrap_statistic([], self._ipc)
+        with pytest.raises(ValueError):
+            bootstrap_statistic([(1, 1.0)], self._ipc, resamples=0)
+
+    def test_interval_helpers(self):
+        ci = BootstrapInterval(point=0.5, lo=0.4, hi=0.6, confidence=0.95)
+        assert ci.width == pytest.approx(0.2)
+        assert ci.rel_width() == pytest.approx(0.4)
+        assert ci.contains(0.4) and ci.contains(0.6) and not ci.contains(0.61)
+        assert BootstrapInterval(0.0, 0.0, 0.0, 0.95).rel_width() == 0.0
